@@ -1,0 +1,19 @@
+"""Shared benchmark plumbing.
+
+Every reproduction benchmark runs its experiment exactly once
+(``benchmark.pedantic(rounds=1)``): the experiments simulate 60-80
+seconds of cluster time and are deterministic, so repeated rounds
+would only re-measure the simulator's wall-clock speed.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

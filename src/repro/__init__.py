@@ -1,0 +1,66 @@
+"""Elastic Paxos: a dynamic atomic multicast protocol (ICDCS 2017).
+
+A from-scratch reproduction of Benz & Pedone's Elastic Paxos on a
+deterministic discrete-event simulator.  The package layers:
+
+* :mod:`repro.sim` -- simulation kernel, network, capacity models;
+* :mod:`repro.paxos` -- Multi-Paxos streams (coordinator, acceptors,
+  learners, lambda/delta-t skips, ring dissemination, recovery);
+* :mod:`repro.multicast` -- the paper's contribution: streams composed
+  by a deterministic merge with **dynamic subscriptions** (Algorithm 1);
+* :mod:`repro.coordination` -- ZooKeeper-style config registry;
+* :mod:`repro.cloud` -- OpenStack-style VMs, anti-affinity, autoscaling;
+* :mod:`repro.kvstore` -- the partitioned key/value store of section VI;
+* :mod:`repro.baselines` -- static broadcast and reconfiguration
+  baselines;
+* :mod:`repro.harness` -- deployment builder and the experiments that
+  regenerate Figures 3-5.
+
+Quickstart::
+
+    from repro.harness.experiments import run_vertical
+    result = run_vertical()
+    print(result.interval_averages)   # the Fig. 3 staircase
+"""
+
+from .multicast import (
+    ElasticMerger,
+    MulticastClient,
+    MulticastReplica,
+    StaticMerger,
+    StreamDeployment,
+    TokenLog,
+)
+from .paxos import (
+    AppValue,
+    Batch,
+    PrepareMsg,
+    SkipToken,
+    StreamConfig,
+    SubscribeMsg,
+    UnsubscribeMsg,
+)
+from .sim import Environment, LinkSpec, Network, RngRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppValue",
+    "Batch",
+    "ElasticMerger",
+    "Environment",
+    "LinkSpec",
+    "MulticastClient",
+    "MulticastReplica",
+    "Network",
+    "PrepareMsg",
+    "RngRegistry",
+    "SkipToken",
+    "StaticMerger",
+    "StreamConfig",
+    "StreamDeployment",
+    "SubscribeMsg",
+    "TokenLog",
+    "UnsubscribeMsg",
+    "__version__",
+]

@@ -1,0 +1,252 @@
+"""Baseline acceptor-reconfiguration strategies (§VIII-C, §IV-A3).
+
+Two alternatives the paper contrasts Elastic Paxos against:
+
+* **stop-and-restart** -- "existing solutions consist in stopping
+  processes in the current configuration, redefining the set of
+  processes in the new configuration, and re-starting the processes":
+  the service is down while replicas checkpoint, the new deployment
+  boots and replicas recover;
+* **membership-as-command** (Lamport) -- the acceptor set is part of
+  the state and changed by an ordered command.  "Such a mechanism
+  prevents multiple consensus instances from executing concurrently,
+  which limits performance": the stream runs with a pipeline window of
+  1 and must drain + re-run Phase 1 on the new acceptors at the switch.
+  Batching partially masks the serialized window's throughput cost at
+  moderate load, but the latency penalty and the deep stall at the
+  switch remain.
+
+Both are measured under the Fig. 5 load so the ablation benchmark can
+put the three strategies side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..harness.broadcast import BroadcastClient, BroadcastReplica
+from ..multicast.stream import StreamDeployment
+from ..paxos.acceptor import AcceptorActor
+from ..paxos.config import StreamConfig
+from ..sim.core import Environment
+from ..sim.network import LinkSpec, Network
+from ..sim.rng import RngRegistry
+
+__all__ = [
+    "BaselineReconfigConfig",
+    "BaselineReconfigResult",
+    "run_stop_restart_reconfig",
+    "run_membership_command_reconfig",
+]
+
+
+@dataclass
+class BaselineReconfigConfig:
+    duration: float = 80.0
+    reconfigure_at: float = 45.0
+    n_threads: int = 60
+    value_size: int = 32 * 1024
+    think_time: float = 0.025
+    replica_cpu_rate: float = 4000.0
+    lam: int = 4000
+    delta_t: float = 0.100
+    link_latency: float = 0.0004
+    # Stop-and-restart: checkpoint + boot + recover window.
+    restart_downtime: float = 12.0
+    # Membership-as-command: drain + Phase 1 on the new acceptor set.
+    drain_delay: float = 0.8
+    seed: int = 7
+    measure_interval: float = 1.0
+
+
+@dataclass
+class BaselineReconfigResult:
+    config: BaselineReconfigConfig
+    strategy: str = ""
+    throughput: list = field(default_factory=list)
+    steady_rate: float = 0.0
+    min_rate_during_switch: float = 0.0
+    downtime_seconds: float = 0.0        # intervals with ~zero delivery
+    latency_p95_ms: float = 0.0
+
+
+def _measure(result, counter, client, config, switch_window=20.0):
+    result.throughput = counter.interval_rates(
+        config.measure_interval, 0.0, config.duration
+    )
+    result.steady_rate = counter.rate_between(
+        0.3 * config.reconfigure_at, config.reconfigure_at
+    )
+    switch_rates = [
+        rate
+        for t, rate in result.throughput
+        if config.reconfigure_at - 1 <= t <= config.reconfigure_at + switch_window
+    ]
+    result.min_rate_during_switch = min(switch_rates) if switch_rates else 0.0
+    result.downtime_seconds = sum(
+        config.measure_interval
+        for rate in switch_rates
+        if rate < 0.05 * max(result.steady_rate, 1.0)
+    )
+    result.latency_p95_ms = client.latency.percentile(95) * 1000.0
+    return result
+
+
+def _build_world(config: BaselineReconfigConfig, window: int = 16):
+    env = Environment()
+    rng = RngRegistry(config.seed)
+    network = Network(env, rng=rng, default_link=LinkSpec(latency=config.link_latency))
+    stream_config = StreamConfig(
+        name="S1",
+        acceptors=("S1/a1", "S1/a2", "S1/a3"),
+        lam=config.lam,
+        delta_t=config.delta_t,
+        window=window,
+    )
+    deployment = StreamDeployment(env, network, stream_config)
+    deployment.start()
+    directory = {"S1": deployment}
+    return env, rng, network, deployment, directory
+
+
+def run_stop_restart_reconfig(
+    config: BaselineReconfigConfig = BaselineReconfigConfig(),
+) -> BaselineReconfigResult:
+    """Reconfigure by halting the whole stack and restarting it."""
+    env, rng, network, deployment, directory = _build_world(config)
+
+    # One counter per service epoch (before/after restart); combined
+    # for measurement.
+    measured_counters = []
+
+    def make_replicas(suffix: str) -> list[BroadcastReplica]:
+        replicas = []
+        for index in range(2):
+            replica = BroadcastReplica(
+                env,
+                network,
+                f"replica-{index + 1}{suffix}",
+                f"replicas{suffix}",
+                directory,
+                cpu_rate=config.replica_cpu_rate,
+            )
+            replica.bootstrap(["S1"])
+            replicas.append(replica)
+        measured_counters.append(replicas[0].delivered_ops)
+        return replicas
+
+    replicas = make_replicas("")
+
+    client = BroadcastClient(
+        env,
+        network,
+        "client",
+        directory,
+        value_size=config.value_size,
+        think_time=config.think_time,
+        timeout=2.0,
+        rng=rng.stream("client"),
+    )
+    client.start_threads("S1", config.n_threads)
+
+    def reconfigure():
+        yield env.timeout(config.reconfigure_at)
+        # Stop the world: clients, replicas, the stream itself.
+        client.stop_threads()
+        for replica in replicas:
+            replica.stop()
+        deployment.stop()
+        yield env.timeout(config.restart_downtime)
+        # New acceptor set under the same stream name (fresh actors).
+        new_config = StreamConfig(
+            name="S1",
+            acceptors=("S1/b1", "S1/b2", "S1/b3"),
+            lam=config.lam,
+            delta_t=config.delta_t,
+        )
+        new_deployment = StreamDeployment(env, network, new_config)
+        directory["S1"] = new_deployment
+        new_deployment.start()
+        make_replicas("-v2")
+        client.start_threads("S1", config.n_threads)
+
+    env.process(reconfigure())
+    env.run(until=config.duration)
+
+    class _Combined:
+        """Presents the per-epoch counters as one counter."""
+
+        def interval_rates(self, interval, start, end):
+            series = [c.interval_rates(interval, start, end) for c in measured_counters]
+            return [
+                (points[0][0], sum(p[1] for p in points))
+                for points in zip(*series)
+            ]
+
+        def rate_between(self, start, end):
+            return sum(c.rate_between(start, end) for c in measured_counters)
+
+    result = BaselineReconfigResult(config=config, strategy="stop-restart")
+    return _measure(result, _Combined(), client, config)
+
+
+def run_membership_command_reconfig(
+    config: BaselineReconfigConfig = BaselineReconfigConfig(),
+) -> BaselineReconfigResult:
+    """Reconfigure through an ordered membership command (Lamport).
+
+    The stream runs with window=1 (membership may change at any
+    instance, so instances cannot be decided concurrently) and the
+    switch drains the pipeline and re-runs Phase 1 on the new acceptors.
+    """
+    env, rng, network, deployment, directory = _build_world(config, window=1)
+
+    replicas = []
+    for index in range(2):
+        replica = BroadcastReplica(
+            env,
+            network,
+            f"replica-{index + 1}",
+            "replicas",
+            directory,
+            cpu_rate=config.replica_cpu_rate,
+        )
+        replica.bootstrap(["S1"])
+        replicas.append(replica)
+
+    client = BroadcastClient(
+        env,
+        network,
+        "client",
+        directory,
+        value_size=config.value_size,
+        think_time=config.think_time,
+        timeout=2.0,
+        rng=rng.stream("client"),
+    )
+    client.start_threads("S1", config.n_threads)
+
+    def reconfigure():
+        yield env.timeout(config.reconfigure_at)
+        coordinator = deployment.coordinator
+        # The membership command is ordered like any value; once decided
+        # the pipeline drains before any instance may use the new set.
+        coordinator.leading = False
+        yield env.timeout(config.drain_delay)
+        # Fresh acceptors take over; the coordinator re-runs Phase 1.
+        new_names = ("S1/b1", "S1/b2", "S1/b3")
+        new_acceptors = [
+            AcceptorActor(env, network, name, stream="S1", ring=new_names)
+            for name in new_names
+        ]
+        for acceptor in new_acceptors:
+            acceptor.start()
+        coordinator.config.acceptors = new_names
+        deployment.acceptors = new_acceptors
+        deployment._sync_decision_targets()
+        coordinator.take_over()
+
+    env.process(reconfigure())
+    env.run(until=config.duration)
+    result = BaselineReconfigResult(config=config, strategy="membership-command")
+    return _measure(result, replicas[0].delivered_ops, client, config)

@@ -1,0 +1,120 @@
+"""Baseline: static single-stream atomic broadcast.
+
+This is the system Elastic Paxos improves on in §IV-A1: atomic
+broadcast over one Paxos stream, whose throughput is capped by the
+stream (coordinator CPU / acceptor storage).  Without dynamic
+subscriptions the only remedies are over-provisioning up front or a
+stop-the-world reconfiguration.
+
+``run_static_broadcast`` drives the same client/replica setup as the
+Fig. 3 experiment but never adds streams: throughput stays pinned at
+the single-stream ceiling no matter how many client threads arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..harness.broadcast import BroadcastClient, BroadcastReplica
+from ..multicast.stream import StreamDeployment
+from ..paxos.config import StreamConfig
+from ..sim.core import Environment
+from ..sim.network import LinkSpec, Network
+from ..sim.rng import RngRegistry
+
+__all__ = ["StaticBroadcastConfig", "StaticBroadcastResult", "run_static_broadcast"]
+
+
+@dataclass
+class StaticBroadcastConfig:
+    duration: float = 60.0
+    add_threads_interval: float = 15.0   # more load arrives periodically...
+    threads_per_step: int = 5            # ...but no stream is ever added
+    n_steps: int = 4
+    value_size: int = 32 * 1024
+    stream_limit: float = 760.0          # same single-stream cap as Fig. 3
+    replica_cpu_rate: float = 2820.0
+    lam: int = 4000
+    delta_t: float = 0.100
+    link_latency: float = 0.0008
+    seed: int = 6
+    measure_interval: float = 1.0
+
+
+@dataclass
+class StaticBroadcastResult:
+    config: StaticBroadcastConfig
+    throughput: list = field(default_factory=list)
+    interval_averages: list = field(default_factory=list)
+    latency_p95_ms: float = 0.0
+    scaling_factor: float = 0.0
+
+
+def run_static_broadcast(
+    config: StaticBroadcastConfig = StaticBroadcastConfig(),
+) -> StaticBroadcastResult:
+    env = Environment()
+    rng = RngRegistry(config.seed)
+    network = Network(env, rng=rng, default_link=LinkSpec(latency=config.link_latency))
+    stream_config = StreamConfig(
+        name="S1",
+        acceptors=("S1/a1", "S1/a2", "S1/a3"),
+        lam=config.lam,
+        delta_t=config.delta_t,
+        value_rate_limit=config.stream_limit,
+    )
+    deployment = StreamDeployment(env, network, stream_config)
+    deployment.start()
+    directory = {"S1": deployment}
+
+    replicas = []
+    for index in range(2):
+        replica = BroadcastReplica(
+            env,
+            network,
+            f"replica-{index + 1}",
+            "replicas",
+            directory,
+            cpu_rate=config.replica_cpu_rate,
+        )
+        replica.bootstrap(["S1"])
+        replicas.append(replica)
+
+    client = BroadcastClient(
+        env,
+        network,
+        "client",
+        directory,
+        value_size=config.value_size,
+        rng=rng.stream("client"),
+    )
+    client.start_threads("S1", config.threads_per_step)
+
+    def loader():
+        for _ in range(config.n_steps - 1):
+            yield env.timeout(config.add_threads_interval)
+            client.start_threads("S1", config.threads_per_step)
+
+    env.process(loader())
+    env.run(until=config.duration)
+
+    measured = replicas[0]
+    result = StaticBroadcastResult(config=config)
+    result.throughput = measured.delivered_ops.interval_rates(
+        config.measure_interval, 0.0, config.duration
+    )
+    boundaries = [
+        min(k * config.add_threads_interval, config.duration)
+        for k in range(config.n_steps)
+    ] + [config.duration]
+    for start, end in zip(boundaries, boundaries[1:]):
+        if end > start:
+            result.interval_averages.append(
+                measured.delivered_ops.rate_between(start, end)
+            )
+    result.latency_p95_ms = client.latency.percentile(95) * 1000.0
+    if result.interval_averages and result.interval_averages[0] > 0:
+        result.scaling_factor = (
+            result.interval_averages[-1] / result.interval_averages[0]
+        )
+    return result

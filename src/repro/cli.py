@@ -1,0 +1,167 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro fig3 [--duration 60] [--seed 1] [--prepare]
+    python -m repro fig4 [--duration 60]
+    python -m repro fig5 [--duration 70] [--no-prepare]
+    python -m repro provisioning
+    python -m repro all
+
+Each command runs the corresponding experiment on the simulator and
+prints the paper-vs-measured comparison plus sparkline series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness.experiments import (
+    HorizontalConfig,
+    ProvisioningConfig,
+    ReconfigConfig,
+    VerticalConfig,
+    run_horizontal,
+    run_provisioning,
+    run_reconfig,
+    run_vertical,
+)
+from .harness.report import comparison_table, section, series_sparkline
+
+__all__ = ["main"]
+
+
+def _fig3(args) -> None:
+    config = VerticalConfig(
+        duration=args.duration, seed=args.seed, use_prepare=args.prepare
+    )
+    result = run_vertical(config)
+    print(section("Figure 3: vertical scalability (add a stream every 15 s)"))
+    paper = [735.0, 1498.0, 2391.0, 2660.0]
+    rows = [
+        (f"interval {i + 1} avg (ops/s)", p, m)
+        for i, (p, m) in enumerate(zip(paper, result.interval_averages))
+    ]
+    rows.append(("scaling factor", 3.62, result.scaling_factor))
+    rows.append(("latency p95 (ms)", 8.3, result.latency_p95_ms))
+    print(comparison_table(rows))
+    print("throughput:", series_sparkline(result.throughput))
+    for stream in sorted(result.per_stream):
+        print(f"{stream:>10}:", series_sparkline(result.per_stream[stream]))
+
+
+def _fig4(args) -> None:
+    config = HorizontalConfig(duration=args.duration, seed=args.seed)
+    result = run_horizontal(config)
+    ba = result.before_after
+    print(section("Figure 4: re-partitioning a key/value store (75% peak load)"))
+    print(
+        comparison_table(
+            [
+                ("re-partitioning gap (s)", 1.0, result.gap_duration),
+                ("replica 1 ops after/before", 0.5,
+                 ba["r1_ops_after"] / ba["r1_ops_before"]),
+                ("replica 2 ops after/before", 0.5,
+                 ba["r2_ops_after"] / ba["r2_ops_before"]),
+                ("replica 1 cpu after/before", 0.5,
+                 ba["r1_cpu_after"] / ba["r1_cpu_before"]),
+                ("aggregate after/before", 1.0,
+                 ba["client_after"] / ba["client_before"]),
+            ]
+        )
+    )
+    print("client ops:", series_sparkline(result.client_throughput))
+    for name in ("r1", "r2"):
+        print(f"{name} applied:", series_sparkline(result.replica_throughput[name]))
+
+
+def _fig5(args) -> None:
+    config = ReconfigConfig(
+        duration=args.duration, seed=args.seed, use_prepare=not args.no_prepare
+    )
+    result = run_reconfig(config)
+    print(section("Figure 5: acceptor reconfiguration under full load"))
+    print(
+        comparison_table(
+            [
+                ("steady throughput (Mbps)", 550.0, result.throughput_mbps),
+                ("latency p95 (ms)", 2.7, result.latency_p95_ms),
+                ("switch overhead (fraction)", 0.0, result.overhead_ratio),
+                ("client timeouts", 0, result.timeouts),
+            ]
+        )
+    )
+    print("total :", series_sparkline(result.throughput))
+    for stream in sorted(result.per_stream):
+        print(f"{stream:>6}:", series_sparkline(result.per_stream[stream]))
+
+
+def _provisioning(args) -> None:
+    result = run_provisioning(ProvisioningConfig(seed=args.seed))
+    print(section("§VI: adding a stream from freshly booted VMs"))
+    print(
+        comparison_table(
+            [
+                ("total (s)", 60.0, result.total_seconds),
+                ("VM boot (s)", "~55-65",
+                 result.vms_active_at - result.requested_at),
+                ("subscribe+merge (s)", "(small)",
+                 result.first_delivery_at - result.subscribed_at),
+            ]
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Elastic Paxos (ICDCS 2017) experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig3 = sub.add_parser("fig3", help="vertical scalability (Fig. 3)")
+    fig3.add_argument("--duration", type=float, default=60.0)
+    fig3.add_argument("--prepare", action="store_true",
+                      help="use the prepare_msg hint (the paper does not)")
+
+    fig4 = sub.add_parser("fig4", help="key/value store re-partitioning (Fig. 4)")
+    fig4.add_argument("--duration", type=float, default=60.0)
+
+    fig5 = sub.add_parser("fig5", help="acceptor reconfiguration (Fig. 5)")
+    fig5.add_argument("--duration", type=float, default=70.0)
+    fig5.add_argument("--no-prepare", action="store_true",
+                      help="skip the prepare_msg hint (shows the stall)")
+
+    sub.add_parser("provisioning", help="~60 s stream provisioning (§VI)")
+    sub.add_parser("all", help="run every experiment")
+
+    for name, p in sub.choices.items():
+        p.add_argument("--seed", type=int, default=1)
+        if name in ("provisioning", "all"):
+            p.set_defaults(duration=None)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "fig3":
+        _fig3(args)
+    elif args.command == "fig4":
+        _fig4(args)
+    elif args.command == "fig5":
+        _fig5(args)
+    elif args.command == "provisioning":
+        _provisioning(args)
+    elif args.command == "all":
+        ns = argparse.Namespace(seed=args.seed, duration=60.0, prepare=False)
+        _fig3(ns)
+        _fig4(ns)
+        ns5 = argparse.Namespace(seed=args.seed, duration=70.0, no_prepare=False)
+        _fig5(ns5)
+        _provisioning(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""OpenStack-style cloud environment model: VMs, placement, autoscaling."""
+
+from .controller import ElasticityController
+from .openstack import AutoScalingGroup, CloudCompute, PlacementError
+from .vm import DEFAULT_BOOT_TIME, VirtualMachine, VmState
+
+__all__ = [
+    "AutoScalingGroup",
+    "CloudCompute",
+    "DEFAULT_BOOT_TIME",
+    "ElasticityController",
+    "PlacementError",
+    "VirtualMachine",
+    "VmState",
+]

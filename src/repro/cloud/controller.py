@@ -1,0 +1,117 @@
+"""Elasticity controller.
+
+§VI: "a controller or a client can create or destroy virtual machines,
+forming additional streams depending on the currently measured
+application throughput."  This controller samples a throughput counter
+and, when utilisation stays above a high watermark, boots a fresh
+acceptor group through the autoscaling API and subscribes the replicas
+to the new stream once the VMs are ACTIVE.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.core import Environment, Interrupt
+from ..sim.monitor import Counter
+from .openstack import AutoScalingGroup, CloudCompute
+from .vm import VirtualMachine
+
+__all__ = ["ElasticityController"]
+
+
+class ElasticityController:
+    """Adds streams when measured throughput nears current capacity.
+
+    Parameters
+    ----------
+    throughput:
+        Counter of completed operations (the "currently measured
+        application throughput").
+    capacity_per_stream:
+        Estimated ops/second one stream sustains; current capacity is
+        ``streams * capacity_per_stream``.
+    provision_stream:
+        ``provision_stream(stream_index, vms)`` -- called once the new
+        acceptor VMs are ACTIVE; must create the stream deployment and
+        issue the subscribe request.  Returns nothing.
+    high_watermark:
+        Utilisation (0-1) above which a scale-up is triggered.
+    acceptors_per_stream:
+        VMs booted per new stream (3 in every paper experiment).
+    max_streams:
+        Upper bound on streams (including the initial one).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        compute: CloudCompute,
+        throughput: Counter,
+        capacity_per_stream: float,
+        provision_stream: Callable[[int, list[VirtualMachine]], None],
+        high_watermark: float = 0.8,
+        sample_interval: float = 5.0,
+        acceptors_per_stream: int = 3,
+        max_streams: int = 8,
+        initial_streams: int = 1,
+    ):
+        if not 0 < high_watermark <= 1:
+            raise ValueError("high_watermark must be in (0, 1]")
+        if capacity_per_stream <= 0:
+            raise ValueError("capacity_per_stream must be positive")
+        self.env = env
+        self.compute = compute
+        self.throughput = throughput
+        self.capacity_per_stream = capacity_per_stream
+        self.provision_stream = provision_stream
+        self.high_watermark = high_watermark
+        self.sample_interval = sample_interval
+        self.acceptors_per_stream = acceptors_per_stream
+        self.max_streams = max_streams
+        self.streams = initial_streams
+        self.scale_events: list[tuple[float, int]] = []   # (time, new count)
+        self._provisioning = False
+        self._proc = None
+
+    def start(self) -> None:
+        self._proc = self.env.process(self._loop())
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._proc = None
+
+    @property
+    def capacity(self) -> float:
+        return self.streams * self.capacity_per_stream
+
+    def _loop(self):
+        while True:
+            try:
+                yield self.env.timeout(self.sample_interval)
+            except Interrupt:
+                return
+            if self._provisioning or self.streams >= self.max_streams:
+                continue
+            rate = self.throughput.rate_between(
+                self.env.now - self.sample_interval, self.env.now
+            )
+            if rate >= self.high_watermark * self.capacity:
+                self._scale_up()
+
+    def _scale_up(self) -> None:
+        self._provisioning = True
+        index = self.streams
+        group = AutoScalingGroup(
+            self.compute,
+            name=f"stream-{index}-acceptors",
+            on_scaled=lambda vms: self._on_vms_active(index, vms),
+        )
+        group.scale_up(self.acceptors_per_stream)
+
+    def _on_vms_active(self, index: int, vms: list[VirtualMachine]) -> None:
+        self.provision_stream(index, vms)
+        self.streams += 1
+        self.scale_events.append((self.env.now, self.streams))
+        self._provisioning = False

@@ -1,0 +1,171 @@
+"""OpenStack-style compute API: placement, anti-affinity, autoscaling.
+
+Models the slice of OpenStack the paper relies on:
+
+* ``create_server`` with **anti-affinity server groups** -- "Paxos
+  acceptors and replicas are scheduled to different physical machines
+  using the OpenStack anti-affinity host groups" (§VII-A);
+* **Heat autoscaling groups** -- the vertical-scalability experiment
+  deploys each stream's acceptors as a Heat-AutoScaling group that
+  "allows clients to boot up or shutdown the virtual machines that
+  participate in the streams" (§VII-C).
+
+The compute pool defaults to the paper's cluster: 16 compute nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.core import AllOf, Environment, Event
+from ..sim.rng import RngRegistry
+from .vm import DEFAULT_BOOT_TIME, VirtualMachine, VmState
+
+__all__ = ["CloudCompute", "AutoScalingGroup", "PlacementError"]
+
+
+class PlacementError(Exception):
+    """No physical host satisfies the placement constraints."""
+
+
+class CloudCompute:
+    """The compute service: boots VMs onto physical hosts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        n_compute_nodes: int = 16,
+        vms_per_node: int = 40,
+        boot_time: float = DEFAULT_BOOT_TIME,
+        boot_jitter: float = 10.0,
+        rng: Optional[RngRegistry] = None,
+    ):
+        if n_compute_nodes < 1:
+            raise ValueError("need at least one compute node")
+        self.env = env
+        self.boot_time = boot_time
+        self.boot_jitter = boot_jitter
+        self._rng = (rng or RngRegistry(0)).stream("cloud")
+        self.nodes = [f"compute-{i:02d}" for i in range(n_compute_nodes)]
+        self.vms_per_node = vms_per_node
+        self.servers: dict[str, VirtualMachine] = {}
+        self._groups: dict[str, list[str]] = {}   # anti-affinity groups
+
+    # -- placement ----------------------------------------------------------
+
+    def _occupancy(self, node: str) -> int:
+        return sum(
+            1
+            for vm in self.servers.values()
+            if vm.physical_host == node and vm.state is not VmState.DELETED
+        )
+
+    def _place(self, anti_affinity_group: Optional[str]) -> str:
+        excluded: set[str] = set()
+        if anti_affinity_group is not None:
+            members = self._groups.setdefault(anti_affinity_group, [])
+            excluded = {
+                self.servers[name].physical_host
+                for name in members
+                if self.servers[name].state is not VmState.DELETED
+            }
+        candidates = [
+            node
+            for node in self.nodes
+            if node not in excluded and self._occupancy(node) < self.vms_per_node
+        ]
+        if not candidates:
+            raise PlacementError(
+                f"no host satisfies anti-affinity group "
+                f"{anti_affinity_group!r} (excluded: {sorted(excluded)})"
+            )
+        # Least-loaded placement, ties broken by node order: deterministic.
+        return min(candidates, key=lambda node: (self._occupancy(node), node))
+
+    # -- API -------------------------------------------------------------------
+
+    def create_server(
+        self,
+        name: str,
+        anti_affinity_group: Optional[str] = None,
+        flavor: str = "m1.small",
+    ) -> VirtualMachine:
+        """Request a VM; it becomes ACTIVE after the boot time."""
+        if name in self.servers and self.servers[name].state is not VmState.DELETED:
+            raise ValueError(f"server {name!r} already exists")
+        host = self._place(anti_affinity_group)
+        boot = self.boot_time
+        if self.boot_jitter > 0:
+            boot += self._rng.uniform(0.0, self.boot_jitter)
+        vm = VirtualMachine(self.env, name, host, boot, flavor)
+        self.servers[name] = vm
+        if anti_affinity_group is not None:
+            self._groups[anti_affinity_group].append(name)
+        return vm
+
+    def delete_server(self, name: str) -> None:
+        try:
+            self.servers[name].delete()
+        except KeyError:
+            raise KeyError(f"unknown server {name!r}") from None
+
+    def server(self, name: str) -> VirtualMachine:
+        return self.servers[name]
+
+    def active_servers(self) -> list[str]:
+        return sorted(
+            name for name, vm in self.servers.items() if vm.is_active
+        )
+
+    def wait_active(self, vms: list[VirtualMachine]) -> Event:
+        """Event that fires when every VM in ``vms`` is ACTIVE."""
+        return AllOf(self.env, [vm.active_event for vm in vms])
+
+
+class AutoScalingGroup:
+    """A Heat-style autoscaling group of identical VMs."""
+
+    def __init__(
+        self,
+        compute: CloudCompute,
+        name: str,
+        anti_affinity: bool = True,
+        on_scaled: Optional[Callable[[list[VirtualMachine]], None]] = None,
+    ):
+        self.compute = compute
+        self.name = name
+        self.anti_affinity = anti_affinity
+        self.on_scaled = on_scaled
+        self.instances: list[VirtualMachine] = []
+        self._counter = 0
+
+    @property
+    def size(self) -> int:
+        return sum(1 for vm in self.instances if vm.state is not VmState.DELETED)
+
+    def scale_up(self, count: int) -> list[VirtualMachine]:
+        """Boot ``count`` new instances; ``on_scaled`` fires when all are
+        ACTIVE."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        group = self.name if self.anti_affinity else None
+        new_vms = []
+        for _ in range(count):
+            self._counter += 1
+            vm = self.compute.create_server(
+                f"{self.name}-{self._counter:03d}", anti_affinity_group=group
+            )
+            new_vms.append(vm)
+            self.instances.append(vm)
+        if self.on_scaled is not None:
+            done = self.compute.wait_active(new_vms)
+            done.callbacks.append(lambda _e: self.on_scaled(new_vms))
+        return new_vms
+
+    def scale_down(self, count: int) -> list[VirtualMachine]:
+        """Delete the ``count`` newest live instances."""
+        victims = [vm for vm in reversed(self.instances) if vm.state is not VmState.DELETED]
+        victims = victims[:count]
+        for vm in victims:
+            self.compute.delete_server(vm.name)
+        return victims

@@ -1,0 +1,168 @@
+"""Deployment builder: assembles simulated clusters for experiments.
+
+:class:`KvCluster` wires the full stack -- network, registry, stream
+deployments (coordinator + acceptor ring each), key/value replicas,
+closed-loop clients and the re-partitioning orchestrator -- from a few
+imperative calls, mirroring how the paper's experiments are deployed on
+OpenStack.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..coordination.registry import RegistryService
+from ..kvstore.client import PARTITION_MAP_KEY, KvClient
+from ..kvstore.partitioning import PartitionMap
+from ..kvstore.replica import KvReplica
+from ..kvstore.repartition import RepartitionOrchestrator
+from ..multicast.api import MulticastClient
+from ..multicast.stream import StreamDeployment
+from ..paxos.config import StreamConfig
+from ..sim.core import Environment
+from ..sim.network import LinkSpec, Network
+from ..sim.rng import RngRegistry
+from ..workload.generators import KeyspaceWorkload
+
+__all__ = ["KvCluster"]
+
+
+class KvCluster:
+    """A complete simulated deployment under one environment."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        link_latency: float = 0.0005,
+        link_bandwidth: Optional[float] = None,
+        lam: int = 4000,
+        delta_t: float = 0.100,
+    ):
+        self.env = Environment()
+        self.rng = RngRegistry(seed)
+        self.network = Network(
+            self.env,
+            rng=self.rng,
+            default_link=LinkSpec(latency=link_latency, bandwidth=link_bandwidth),
+        )
+        self.registry = RegistryService(self.env, self.network)
+        self.registry.start()
+        self.directory: dict[str, StreamDeployment] = {}
+        self.replicas: dict[str, KvReplica] = {}
+        self.clients: dict[str, KvClient] = {}
+        self.lam = lam
+        self.delta_t = delta_t
+        self._control: Optional[MulticastClient] = None
+        self._orchestrator: Optional[RepartitionOrchestrator] = None
+
+    # -- streams -----------------------------------------------------------
+
+    def add_stream(
+        self,
+        name: str,
+        n_acceptors: int = 3,
+        recovery_instance_cost: float = 0.0,
+        **config_overrides,
+    ) -> StreamDeployment:
+        """Deploy and start a stream (coordinator + acceptor ring)."""
+        if name in self.directory:
+            raise ValueError(f"stream {name!r} already deployed")
+        config_overrides.setdefault("lam", self.lam)
+        config_overrides.setdefault("delta_t", self.delta_t)
+        config = StreamConfig(
+            name=name,
+            acceptors=tuple(f"{name}/a{i + 1}" for i in range(n_acceptors)),
+            **config_overrides,
+        )
+        deployment = StreamDeployment(
+            self.env,
+            self.network,
+            config,
+            recovery_instance_cost=recovery_instance_cost,
+        )
+        self.directory[name] = deployment
+        deployment.start()
+        return deployment
+
+    def stop_stream(self, name: str) -> None:
+        self.directory[name].stop()
+
+    # -- replicas ------------------------------------------------------------
+
+    def add_replica(
+        self,
+        name: str,
+        group: str,
+        streams: list[str],
+        partition_map: PartitionMap,
+        cpu_rate: float = 5000.0,
+        **replica_kwargs,
+    ) -> KvReplica:
+        replica = KvReplica(
+            self.env,
+            self.network,
+            name,
+            group,
+            self.directory,
+            partition_map,
+            cpu_rate=cpu_rate,
+            **replica_kwargs,
+        )
+        replica.bootstrap(streams)
+        self.replicas[name] = replica
+        return replica
+
+    # -- clients ---------------------------------------------------------------
+
+    def add_client(
+        self,
+        name: str,
+        partition_map: PartitionMap,
+        workload: Optional[KeyspaceWorkload] = None,
+        n_threads: int = 10,
+        timeout: float = 1.0,
+        think_time: float = 0.0,
+    ) -> KvClient:
+        client = KvClient(
+            self.env,
+            self.network,
+            name,
+            self.directory,
+            partition_map,
+            workload or KeyspaceWorkload(),
+            n_threads=n_threads,
+            timeout=timeout,
+            think_time=think_time,
+            rng=self.rng.stream(f"client:{name}"),
+        )
+        client.start_workers()
+        self.clients[name] = client
+        return client
+
+    # -- control plane ------------------------------------------------------------
+
+    @property
+    def control(self) -> MulticastClient:
+        """A control client for subscribe/unsubscribe/prepare requests."""
+        if self._control is None:
+            self._control = MulticastClient(
+                self.env, self.network, "control", self.directory
+            )
+        return self._control
+
+    @property
+    def orchestrator(self) -> RepartitionOrchestrator:
+        if self._orchestrator is None:
+            self._orchestrator = RepartitionOrchestrator(
+                self.env, self.control, self.directory, registry=self.registry
+            )
+        return self._orchestrator
+
+    def publish_map(self, partition_map: PartitionMap) -> None:
+        self.registry.put_local(PARTITION_MAP_KEY, partition_map)
+
+    # -- running --------------------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        self.env.run(until=until)

@@ -1,0 +1,154 @@
+"""Figure 5 -- acceptor reconfiguration under full load.
+
+"We start the experiment with a client VM (60 threads) that sends
+32 kbyte values to two replica VMs.  These two replicas subscribe to
+the first stream which contains 3 acceptor VMs.  After 40 seconds, we
+inform the replicas that we will add a second stream (with a
+prepare_msg request).  After 45 seconds we let the replicas subscribe
+to the new stream containing 3 different acceptor VMs.  Right after the
+subscribe message we submit an unsubscribe message to the original
+stream." (§VII-E)
+
+Reported in the paper: reconfiguration of ~550 Mbps of traffic with no
+visible overhead (the prepare hint lets replicas recover the new stream
+in the background) and a 95th-percentile latency of 2.7 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...multicast.api import MulticastClient
+from ...multicast.stream import StreamDeployment
+from ...paxos.config import StreamConfig
+from ...sim.core import Environment
+from ...sim.network import LinkSpec, Network
+from ...sim.rng import RngRegistry
+from ..broadcast import BroadcastClient, BroadcastReplica
+
+__all__ = ["ReconfigConfig", "ReconfigResult", "run_reconfig"]
+
+
+@dataclass
+class ReconfigConfig:
+    duration: float = 80.0
+    prepare_at: float = 40.0
+    subscribe_at: float = 45.0
+    n_threads: int = 60
+    value_size: int = 32 * 1024
+    think_time: float = 0.025          # sets the ~2100 ops/s operating point
+    replica_cpu_rate: float = 4000.0
+    lam: int = 4000
+    delta_t: float = 0.100
+    link_latency: float = 0.0004
+    acceptors_per_stream: int = 3
+    recovery_instance_cost: float = 0.002
+    use_prepare: bool = True           # ablation: False shows the stall
+    seed: int = 3
+    measure_interval: float = 1.0
+
+
+@dataclass
+class ReconfigResult:
+    config: ReconfigConfig
+    throughput: list = field(default_factory=list)     # (t, ops/s) aggregate
+    per_stream: dict = field(default_factory=dict)
+    latency_p95_ms: float = 0.0
+    throughput_mbps: float = 0.0
+    min_rate_during_switch: float = 0.0
+    steady_rate: float = 0.0
+    overhead_ratio: float = 0.0        # 1 - min/steady during the switch
+    timeouts: int = 0
+
+
+def run_reconfig(config: ReconfigConfig = ReconfigConfig()) -> ReconfigResult:
+    env = Environment()
+    rng = RngRegistry(config.seed)
+    network = Network(env, rng=rng, default_link=LinkSpec(latency=config.link_latency))
+
+    directory: dict[str, StreamDeployment] = {}
+    for name in ("S1", "S2"):
+        stream_config = StreamConfig(
+            name=name,
+            acceptors=tuple(
+                f"{name}/a{j + 1}" for j in range(config.acceptors_per_stream)
+            ),
+            lam=config.lam,
+            delta_t=config.delta_t,
+        )
+        directory[name] = StreamDeployment(
+            env,
+            network,
+            stream_config,
+            recovery_instance_cost=config.recovery_instance_cost,
+        )
+        directory[name].start()
+
+    replicas = []
+    for index in range(2):
+        replica = BroadcastReplica(
+            env,
+            network,
+            f"replica-{index + 1}",
+            "replicas",
+            directory,
+            cpu_rate=config.replica_cpu_rate,
+        )
+        replica.bootstrap(["S1"])
+        replicas.append(replica)
+
+    control = MulticastClient(env, network, "control", directory)
+    client = BroadcastClient(
+        env,
+        network,
+        "client",
+        directory,
+        value_size=config.value_size,
+        think_time=config.think_time,
+        rng=rng.stream("client"),
+    )
+    client.start_threads("S1", config.n_threads)
+
+    def reconfigure():
+        if config.use_prepare:
+            yield env.timeout(config.prepare_at)
+            control.prepare_msg("replicas", "S2", via_stream="S1")
+            yield env.timeout(config.subscribe_at - config.prepare_at)
+        else:
+            yield env.timeout(config.subscribe_at)
+        control.subscribe_msg("replicas", "S2", via_stream="S1")
+        # Operators point the clients at the new stream, then retire S1.
+        yield env.timeout(0.05)
+        client.retarget("S1", "S2")
+        yield env.timeout(0.05)
+        control.unsubscribe_msg("replicas", "S1", via_stream="S1")
+
+    env.process(reconfigure())
+    env.run(until=config.duration)
+
+    measured = replicas[0]
+    result = ReconfigResult(config=config)
+    result.throughput = measured.delivered_ops.interval_rates(
+        config.measure_interval, 0.0, config.duration
+    )
+    result.per_stream = {
+        stream: counter.interval_rates(config.measure_interval, 0.0, config.duration)
+        for stream, counter in measured.per_stream_ops.items()
+    }
+    result.latency_p95_ms = client.latency.percentile(95) * 1000.0
+    result.steady_rate = measured.delivered_ops.rate_between(
+        0.3 * config.subscribe_at, config.subscribe_at
+    )
+    result.throughput_mbps = (
+        result.steady_rate * config.value_size * 8 / 1_000_000
+    )
+    switch_rates = [
+        rate
+        for t, rate in result.throughput
+        if config.subscribe_at - 1 <= t <= config.subscribe_at + 5
+    ]
+    result.min_rate_during_switch = min(switch_rates) if switch_rates else 0.0
+    if result.steady_rate > 0:
+        result.overhead_ratio = 1.0 - result.min_rate_during_switch / result.steady_rate
+    result.timeouts = client.timeouts
+    return result

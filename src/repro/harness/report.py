@@ -1,0 +1,70 @@
+"""Text rendering of experiment results (the benchmark harness output).
+
+Each reproduction benchmark prints a ``paper vs measured`` block with
+the rows/series the paper reports; EXPERIMENTS.md archives the output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["comparison_table", "series_sparkline", "section"]
+
+
+def section(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{title}\n{bar}"
+
+
+def comparison_table(rows: Iterable[tuple[str, object, object]]) -> str:
+    """Render ``(metric, paper, measured)`` rows as an aligned table."""
+    rendered = [("metric", "paper", "measured")]
+    for metric, paper, measured in rows:
+        rendered.append((str(metric), _fmt(paper), _fmt(measured)))
+    widths = [max(len(r[i]) for r in rendered) for i in range(3)]
+    lines = []
+    for index, row in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def series_sparkline(
+    series: Iterable[tuple[float, float]],
+    width: int = 60,
+    maximum: Optional[float] = None,
+) -> str:
+    """Render a (time, value) series as a unicode sparkline."""
+    values = [v for _t, v in series]
+    if not values:
+        return "(no data)"
+    if len(values) > width:
+        # Downsample by averaging buckets.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return _BLOCKS[0] * len(values)
+    chars = []
+    for value in values:
+        level = int(round(value / top * (len(_BLOCKS) - 1)))
+        chars.append(_BLOCKS[max(0, min(level, len(_BLOCKS) - 1))])
+    return "".join(chars)

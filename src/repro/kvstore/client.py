@@ -1,0 +1,222 @@
+"""Key/value store client.
+
+Runs N closed-loop worker threads (the paper's "client VM with
+100 threads").  Each worker builds a command from its workload, routes
+it to the responsible partition's stream (single-key ops) or to the
+shared stream (ranges), and waits for the reply with a timeout.
+
+On timeout the command is re-sent -- after a re-partitioning, commands
+that reached the wrong shard were discarded there, and this retry (with
+the refreshed partition map pushed by the registry watch) is what
+produces the ~1 s gap in Fig. 4.  Replicas of a shard all reply; the
+first reply completes the command and duplicates are dropped.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional
+
+from ..coordination.registry import RegistryClient
+from ..multicast.stream import StreamDeployment
+from ..net.actor import Actor
+from ..paxos.messages import Propose
+from ..paxos.types import AppValue
+from ..sim.core import AnyOf, Environment, Interrupt
+from ..sim.monitor import Counter, Series
+from ..sim.network import Network
+from ..workload.generators import KeyspaceWorkload
+from .commands import CommandReply, DeleteCmd, GetCmd, PutCmd, RangeCmd, TxnCmd
+from .partitioning import PartitionMap
+
+__all__ = ["KvClient"]
+
+PARTITION_MAP_KEY = "kvstore/partition-map"
+
+
+class KvClient(Actor):
+    """A client VM running closed-loop worker threads."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        name: str,
+        directory: Mapping[str, StreamDeployment],
+        partition_map: PartitionMap,
+        workload: KeyspaceWorkload,
+        n_threads: int = 100,
+        timeout: float = 1.0,
+        think_time: float = 0.0,
+        rng: Optional[random.Random] = None,
+        registry_name: Optional[str] = "registry",
+    ):
+        super().__init__(env, network, name)
+        self.directory = directory
+        self.partition_map = partition_map
+        self.workload = workload
+        self.n_threads = n_threads
+        self.timeout = timeout
+        self.think_time = think_time
+        self.rng = rng or random.Random(0)
+
+        self.ops = Counter(env, f"{name}:ops")
+        self.latency = Series(env, f"{name}:latency")
+        self.timeouts = 0
+        self.completed = 0
+        self._pending: dict[int, dict] = {}
+        self._workers = []
+        self._running = False
+
+        self.registry: Optional[RegistryClient] = None
+        if registry_name is not None:
+            self.registry = RegistryClient(self, registry_name)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start_workers(self) -> None:
+        """Start the receive loop, the registry watch and all threads."""
+        self.start()
+        self._running = True
+        if self.registry is not None:
+            self.registry.watch(PARTITION_MAP_KEY, self._on_map_update)
+        for index in range(self.n_threads):
+            self._workers.append(self.env.process(self._worker(index)))
+
+    def stop_workers(self) -> None:
+        self._running = False
+        for worker in self._workers:
+            if worker.is_alive:
+                worker.interrupt("stop")
+        self._workers = []
+        self.stop()
+
+    def _on_map_update(self, value, version) -> None:
+        if value is not None:
+            self.partition_map = value
+
+    # -- command construction ----------------------------------------------------
+
+    def _build_command(self, spec):
+        kind = spec[0]
+        if kind == "put":
+            _k, key, size = spec
+            command = PutCmd(
+                key=key, value=f"v{size}", value_size=size, client=self.name
+            )
+            return command, self.partition_map.partition_of(key).stream, size
+        if kind == "get":
+            command = GetCmd(key=spec[1], client=self.name)
+            return command, self.partition_map.partition_of(spec[1]).stream, 64
+        if kind == "delete":
+            command = DeleteCmd(key=spec[1], client=self.name)
+            return command, self.partition_map.partition_of(spec[1]).stream, 64
+        if kind == "range":
+            command = RangeCmd(start=spec[1], end=spec[2], client=self.name)
+            if self.partition_map.shared_stream is None:
+                raise ValueError(
+                    "range commands need a shared stream in the partition map"
+                )
+            return command, self.partition_map.shared_stream, 64
+        if kind == "txn":
+            command = TxnCmd(ops=tuple(spec[1]), client=self.name)
+            return command, self._route(command), 64 + 24 * len(command.ops)
+        raise ValueError(f"unknown command spec {spec!r}")
+
+    def _involved_partitions(self, command: TxnCmd) -> set:
+        return {
+            self.partition_map.partition_of(key).index for key in command.keys()
+        }
+
+    def _route(self, command) -> str:
+        """Re-resolve the target stream under the *current* map."""
+        if isinstance(command, (PutCmd, GetCmd, DeleteCmd)):
+            return self.partition_map.partition_of(command.key).stream
+        if isinstance(command, TxnCmd):
+            involved = self._involved_partitions(command)
+            if len(involved) == 1:
+                return self.partition_map.partitions[involved.pop()].stream
+            if self.partition_map.shared_stream is None:
+                raise ValueError(
+                    "multi-partition transactions need a shared stream"
+                )
+            return self.partition_map.shared_stream
+        return self.partition_map.shared_stream
+
+    def _expected_partitions(self, command) -> int:
+        if isinstance(command, RangeCmd):
+            return self.partition_map.n_partitions
+        if isinstance(command, TxnCmd):
+            return len(self._involved_partitions(command))
+        return 1
+
+    # -- the closed loop -----------------------------------------------------------
+
+    def execute(self, spec):
+        """Drive one command spec to completion (retrying on timeout).
+
+        A generator to run under ``env.process``; its return value is
+        the list of partial results, one per replying partition.  This
+        is also what each closed-loop worker runs per iteration, so
+        direct callers get identical routing/retry/metrics behaviour.
+        """
+        command, stream, size = self._build_command(spec)
+        started = self.env.now
+        while True:
+            done = self.env.event()
+            self._pending[command.cmd_id] = {
+                "event": done,
+                "need": self._expected_partitions(command),
+                "partitions": set(),
+                "results": [],
+            }
+            coordinator = self.directory[stream].config.coordinator
+            self.send(
+                coordinator,
+                Propose(
+                    stream=stream,
+                    token=AppValue(payload=command, size=size, sender=self.name),
+                ),
+            )
+            expiry = self.env.timeout(self.timeout)
+            yield AnyOf(self.env, [done, expiry])
+            if done.triggered:
+                break
+            # Timed out: drop the stale wait, re-route under the
+            # (possibly updated) partition map and resend.
+            self._pending.pop(command.cmd_id, None)
+            self.timeouts += 1
+            stream = self._route(command)
+        self.completed += 1
+        self.ops.record()
+        self.latency.record(self.env.now - started)
+        return done.value
+
+    def _worker(self, index: int):
+        try:
+            while self._running:
+                spec = self.workload.next_command(self.rng)
+                yield from self.execute(spec)
+                if self.think_time > 0:
+                    yield self.env.timeout(self.think_time)
+        except Interrupt:
+            return
+
+    # -- replies ------------------------------------------------------------------
+
+    def on_command_reply(self, msg: CommandReply, src: str) -> None:
+        entry = self._pending.get(msg.cmd_id)
+        if entry is None:
+            return   # duplicate (other replica) or post-timeout straggler
+        if msg.partition in entry["partitions"]:
+            return   # the shard's other replica answered already
+        entry["partitions"].add(msg.partition)
+        entry["results"].append(msg.result)
+        if len(entry["partitions"]) >= entry["need"]:
+            del self._pending[msg.cmd_id]
+            entry["event"].succeed(entry["results"])
+
+    def dispatch(self, payload, src):
+        if self.registry is not None and self.registry.handle_registry_message(payload):
+            return
+        super().dispatch(payload, src)

@@ -1,0 +1,69 @@
+"""Hash partitioning and the partition map.
+
+"Every replica belongs to one hash-partitioned shard of the whole state
+and every partition has a dedicated Paxos stream to order commands"
+(§VI).  The partition of a key is ``crc32(key) % n_partitions``, so
+growing the map from one to two partitions moves roughly half the keys
+-- the split of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Partition", "PartitionMap", "partition_index_of"]
+
+
+def partition_index_of(key: str, n_partitions: int) -> int:
+    """Deterministic hash partition of ``key``."""
+    if n_partitions < 1:
+        raise ValueError("need at least one partition")
+    return zlib.crc32(key.encode("utf-8")) % n_partitions
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One shard: its index, ordering stream, and replica set."""
+
+    index: int
+    stream: str
+    replicas: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """A versioned snapshot of the sharding layout.
+
+    ``shared_stream`` (when set) is the stream all replicas subscribe
+    to, used for multi-partition commands such as getrange.
+    """
+
+    version: int
+    partitions: tuple[Partition, ...]
+    shared_stream: Optional[str] = None
+
+    def __post_init__(self):
+        indices = [p.index for p in self.partitions]
+        if indices != list(range(len(self.partitions))):
+            raise ValueError(
+                f"partition indices must be 0..n-1 in order, got {indices}"
+            )
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def partition_of(self, key: str) -> Partition:
+        return self.partitions[partition_index_of(key, self.n_partitions)]
+
+    def partition_of_replica(self, replica: str) -> Optional[Partition]:
+        for partition in self.partitions:
+            if replica in partition.replicas:
+                return partition
+        return None
+
+    def owns(self, replica: str, key: str) -> bool:
+        """Does ``replica`` serve the shard that ``key`` hashes to?"""
+        return replica in self.partition_of(key).replicas

@@ -1,0 +1,198 @@
+"""Re-partitioning orchestration (the Fig. 4 split).
+
+The split of one shard into two follows the paper's timeline:
+
+1. the moving replica's group subscribes to the new stream
+   (``subscribe_msg`` ordered in both the new and the old stream);
+2. after a settling delay, the new partition map is (a) multicast as a
+   :class:`~repro.kvstore.commands.MapChangeCmd` in the *old* stream --
+   every replica still subscribes to it, so all of them switch at the
+   same point of the merged order -- and (b) published to the registry
+   so clients re-route;
+3. the moving group then unsubscribes from the old stream.
+
+A merge (scale-in) runs the inverse: the absorbing group subscribes to
+the doomed partition's stream, the map change removes the partition,
+and the doomed stream is unsubscribed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..coordination.registry import RegistryService
+from ..multicast.api import MulticastClient
+from ..multicast.stream import StreamDeployment
+from ..paxos.messages import Propose
+from ..paxos.types import AppValue
+from ..sim.core import Environment
+from .client import PARTITION_MAP_KEY
+from .commands import MapChangeCmd
+from .partitioning import Partition, PartitionMap
+
+__all__ = ["RepartitionOrchestrator"]
+
+
+class RepartitionOrchestrator:
+    """Drives shard splits and merges through the multicast layer."""
+
+    def __init__(
+        self,
+        env: Environment,
+        control_client: MulticastClient,
+        directory: Mapping[str, StreamDeployment],
+        registry: Optional[RegistryService] = None,
+    ):
+        self.env = env
+        self.client = control_client
+        self.directory = directory
+        self.registry = registry
+
+    def _multicast_map_change(
+        self, via_streams: list[str], new_map: PartitionMap
+    ) -> None:
+        """Order the map change in every stream (replicas dedup by
+        version)."""
+        for stream in via_streams:
+            command = MapChangeCmd(new_map=new_map)
+            self.client.send(
+                self.directory[stream].config.coordinator,
+                Propose(stream=stream, token=AppValue(payload=command, size=256)),
+            )
+
+    def _publish_map(self, new_map: PartitionMap) -> None:
+        if self.registry is not None:
+            self.registry.put_local(PARTITION_MAP_KEY, new_map)
+
+    def split(
+        self,
+        old_map: PartitionMap,
+        split_index: int,
+        moving_group: str,
+        moving_replicas: tuple[str, ...],
+        new_stream: str,
+        settle_delay: float = 5.0,
+        prepare: bool = False,
+        unsubscribe_delay: float = 0.2,
+        notify_delay: float = 0.5,
+    ):
+        """Split partition ``split_index``; returns a process whose value
+        is the new :class:`PartitionMap`.
+
+        ``moving_replicas`` (members of ``moving_group``) leave the old
+        shard and become the replica set of the new partition, ordered
+        by ``new_stream``.
+
+        ``notify_delay`` models the lag between replicas installing the
+        new map and clients hearing about it through the registry
+        (ZooKeeper in the paper); commands mis-routed in that window are
+        discarded at the replicas and resent by the clients after their
+        timeout -- the ~1 s re-partitioning gap of Fig. 4.
+        """
+        old_partition = old_map.partitions[split_index]
+        remaining = tuple(
+            r for r in old_partition.replicas if r not in moving_replicas
+        )
+        if not remaining:
+            raise ValueError("split would leave the old partition empty")
+        new_partitions = list(old_map.partitions)
+        new_partitions[split_index] = Partition(
+            index=split_index, stream=old_partition.stream, replicas=remaining
+        )
+        new_partitions.append(
+            Partition(
+                index=len(new_partitions),
+                stream=new_stream,
+                replicas=tuple(moving_replicas),
+            )
+        )
+        new_map = PartitionMap(
+            version=old_map.version + 1,
+            partitions=tuple(new_partitions),
+            shared_stream=old_map.shared_stream,
+        )
+
+        def run():
+            if prepare:
+                self.client.prepare_msg(
+                    moving_group, new_stream, via_stream=old_partition.stream
+                )
+                yield self.env.timeout(settle_delay / 2)
+            self.client.subscribe_msg(
+                moving_group, new_stream, via_stream=old_partition.stream
+            )
+            yield self.env.timeout(settle_delay)
+            self._multicast_map_change([old_partition.stream], new_map)
+            # Give the map change time to be ordered before the moving
+            # group stops listening to the old stream.
+            yield self.env.timeout(unsubscribe_delay)
+            self.client.unsubscribe_msg(
+                moving_group, old_partition.stream, via_stream=old_partition.stream
+            )
+            yield self.env.timeout(max(0.0, notify_delay - unsubscribe_delay))
+            self._publish_map(new_map)
+            return new_map
+
+        return self.env.process(run())
+
+    def merge(
+        self,
+        old_map: PartitionMap,
+        doomed_index: int,
+        into_index: int,
+        absorbing_group: str,
+        settle_delay: float = 5.0,
+    ):
+        """Merge partition ``doomed_index`` into ``into_index``.
+
+        The absorbing group subscribes to the doomed partition's stream
+        (replaying its history from the merge point on), the map change
+        routes the doomed shard's keys to the absorbing partition, and
+        the doomed stream is unsubscribed.  Returns a process whose
+        value is the new map.
+
+        The absorbing replicas only see the doomed stream's commands
+        from the merge point on, so the doomed shard's existing rows
+        move via the replica-to-replica state-transfer protocol: on
+        installing the new map the doomed replicas hand their rows off
+        and the absorbing replicas fetch them (see
+        :meth:`KvReplica._apply_map_change`).
+        """
+        if doomed_index == into_index:
+            raise ValueError("cannot merge a partition into itself")
+        doomed = old_map.partitions[doomed_index]
+        absorbing = old_map.partitions[into_index]
+        survivors = [
+            p for p in old_map.partitions if p.index not in (doomed_index,)
+        ]
+        reindexed = []
+        for new_index, partition in enumerate(survivors):
+            reindexed.append(
+                Partition(
+                    index=new_index,
+                    stream=partition.stream,
+                    replicas=partition.replicas,
+                )
+            )
+        new_map = PartitionMap(
+            version=old_map.version + 1,
+            partitions=tuple(reindexed),
+            shared_stream=old_map.shared_stream,
+        )
+
+        def run():
+            self.client.subscribe_msg(
+                absorbing_group, doomed.stream, via_stream=absorbing.stream
+            )
+            yield self.env.timeout(settle_delay)
+            # Both streams carry the map change: the doomed shard's
+            # replicas are not subscribed to the absorbing stream.
+            self._multicast_map_change([absorbing.stream, doomed.stream], new_map)
+            self._publish_map(new_map)
+            yield self.env.timeout(0.5)
+            self.client.unsubscribe_msg(
+                absorbing_group, doomed.stream, via_stream=doomed.stream
+            )
+            return new_map
+
+        return self.env.process(run())

@@ -1,0 +1,68 @@
+"""In-memory sorted key/value store.
+
+Replicas "execute the commands to their in-memory data store" (§VI).
+Keys are kept in sorted order so that ``getrange`` scans an interval in
+O(log n + k).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Optional
+
+__all__ = ["InMemoryStore"]
+
+
+class InMemoryStore:
+    """A sorted in-memory map supporting point and range operations."""
+
+    def __init__(self):
+        self._data: dict[str, Any] = {}
+        self._sorted_keys: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def put(self, key: str, value: Any) -> None:
+        if key not in self._data:
+            bisect.insort(self._sorted_keys, key)
+        self._data[key] = value
+
+    def get(self, key: str) -> Optional[Any]:
+        return self._data.get(key)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns whether it existed."""
+        if key not in self._data:
+            return False
+        del self._data[key]
+        index = bisect.bisect_left(self._sorted_keys, key)
+        del self._sorted_keys[index]
+        return True
+
+    def get_range(self, start: str, end: str) -> list[tuple[str, Any]]:
+        """All ``(key, value)`` with ``start <= key < end``, sorted."""
+        if end < start:
+            raise ValueError(f"empty interval: end {end!r} < start {start!r}")
+        lo = bisect.bisect_left(self._sorted_keys, start)
+        hi = bisect.bisect_left(self._sorted_keys, end)
+        return [(k, self._data[k]) for k in self._sorted_keys[lo:hi]]
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._sorted_keys)
+
+    def retain_only(self, predicate) -> int:
+        """Drop every key for which ``predicate(key)`` is False.
+
+        Used after a re-partitioning: a replica discards the keys that
+        now belong to another shard.  Returns the number dropped.
+        """
+        doomed = [k for k in self._sorted_keys if not predicate(k)]
+        for key in doomed:
+            del self._data[key]
+        if doomed:
+            self._sorted_keys = [k for k in self._sorted_keys if k in self._data]
+        return len(doomed)

@@ -1,0 +1,106 @@
+"""Static deterministic merge (Multi-Ring Paxos).
+
+This is the merger Elastic Paxos replaces: the set of streams is fixed
+at construction and never changes.  Kept as (a) the baseline the paper
+improves on and (b) the simplest statement of the round-robin delivery
+rule that :mod:`repro.multicast.elastic` extends.
+
+The merger consumes one stream *position* per round-robin turn.  Values
+are delivered; skip tokens and control messages are consumed silently.
+Because every stream is topped up to the virtual rate λ with skip
+tokens (:mod:`repro.paxos.skip`), delivery never stalls on an idle
+stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..paxos.types import AppValue, SkipToken, Token
+from .stream import TokenLog
+
+__all__ = ["StaticMerger", "StreamCursor"]
+
+
+class StreamCursor:
+    """A replica's read position in one stream's token log."""
+
+    def __init__(self, name: str, log: Optional[TokenLog] = None):
+        self.name = name
+        self.log = log if log is not None else TokenLog()
+        self.position = self.log.base      # next position to consume
+        self.index_hint = 0                # token index cache for O(1) lookup
+
+    def peek(self) -> Optional[Token]:
+        """Token at the current position, or None if not yet decided."""
+        if self.position < self.log.base:
+            # The log was rebased after this cursor was created (the
+            # acceptors trimmed their prefix); positions below the base
+            # are unknowable and, for a fresh subscriber, discarded.
+            self.position = self.log.base
+        token, self.index_hint = self.log.token_covering(
+            self.position, self.index_hint
+        )
+        return token
+
+    def token_end(self, token: Token) -> int:
+        """End position (exclusive) of the token under the cursor."""
+        return self.log.start_of(self.index_hint) + token.positions()
+
+
+class StaticMerger:
+    """Deterministic round-robin merge over a fixed set of streams."""
+
+    def __init__(
+        self,
+        streams: dict[str, TokenLog],
+        deliver: Callable[[AppValue, str, int], None],
+    ):
+        if not streams:
+            raise ValueError("a merger needs at least one stream")
+        self._cursors = {
+            name: StreamCursor(name, log) for name, log in streams.items()
+        }
+        self.sigma: list[str] = sorted(streams)
+        self.deliver = deliver
+        self._rr = 0
+        self._pumping = False
+        self.delivered_per_stream = {name: 0 for name in streams}
+
+    @property
+    def positions(self) -> dict[str, int]:
+        return {name: c.position for name, c in self._cursors.items()}
+
+    def notify(self, stream: str = "") -> None:
+        """New tokens are available; drain as far as possible."""
+        self.pump()
+
+    def pump(self) -> None:
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            while self._step():
+                pass
+        finally:
+            self._pumping = False
+
+    def _step(self) -> bool:
+        """Consume one position from the current stream; False if blocked."""
+        stream = self.sigma[self._rr]
+        cursor = self._cursors[stream]
+        token = cursor.peek()
+        if token is None:
+            return False
+        if isinstance(token, AppValue):
+            self.delivered_per_stream[stream] += 1
+            self.deliver(token, stream, cursor.position)
+            cursor.position += 1
+        elif isinstance(token, SkipToken) and len(self.sigma) == 1:
+            # Sole stream: jumping the whole skip preserves the
+            # delivered sequence and costs one step instead of `count`.
+            cursor.position = cursor.token_end(token)
+        else:
+            cursor.position += 1   # skip/control token: silently consumed
+        self._rr = (self._rr + 1) % len(self.sigma)
+        return True

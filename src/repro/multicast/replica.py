@@ -1,0 +1,249 @@
+"""A multicast replica: learner tasks + dMerge on one host.
+
+:class:`MulticastReplica` is the process the paper's Figure 1 calls a
+*Replica*: it hosts one learner task per subscribed stream, a token log
+per stream, and the dMerge (:class:`repro.multicast.elastic.ElasticMerger`)
+that turns the streams into a single acyclic delivery order.  The
+application (e.g. the key/value store) receives delivered values
+through ``on_deliver`` or by subclassing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from ..net.actor import Actor
+from ..paxos.learner import LearnerCore
+from ..paxos.messages import Decision, RecoverReply
+from ..paxos.types import AppValue, Batch
+from ..sim.core import Environment
+from ..sim.network import Network
+from .elastic import ElasticMerger
+from .stream import StreamDeployment, TokenLog
+
+__all__ = ["MulticastReplica"]
+
+
+class MulticastReplica(Actor):
+    """A replica of replication group ``group``.
+
+    Parameters
+    ----------
+    directory:
+        Maps stream names to their :class:`StreamDeployment`; the
+        replica uses it to register as a learner and to spawn learner
+        tasks for newly subscribed streams (the role ZooKeeper plays in
+        URingPaxos).
+    on_deliver:
+        ``on_deliver(value, stream, position)`` invoked in merge order.
+        Subclasses may instead override :meth:`apply`.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        name: str,
+        group: str,
+        directory: Mapping[str, StreamDeployment],
+        on_deliver: Optional[Callable[[AppValue, str, int], None]] = None,
+        gap_timeout: float = 0.2,
+    ):
+        super().__init__(env, network, name)
+        self.group = group
+        self.directory = directory
+        self._on_deliver = on_deliver
+        self.learners: dict[str, LearnerCore] = {}
+        self.logs: dict[str, TokenLog] = {}
+        self.merger = ElasticMerger(
+            group=group,
+            deliver=self.apply,
+            stream_provider=self._provide_stream,
+            stream_releaser=self._release_stream,
+            on_subscription_change=self.on_subscription_change,
+            now=lambda: env.now,
+        )
+
+    # -- application hooks ---------------------------------------------------
+
+    def apply(self, value: AppValue, stream: str, position: int) -> None:
+        """Deliver one value to the application (override or callback)."""
+        if self._on_deliver is not None:
+            self._on_deliver(value, stream, position)
+
+    def on_subscription_change(self, kind: str, stream: str) -> None:
+        """Subclass hook: Σ changed ('subscribe'/'unsubscribe')."""
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def bootstrap(self, streams: list[str]) -> None:
+        """Install the initial subscriptions and start merging."""
+        logs = {}
+        for stream in streams:
+            logs[stream] = self._attach_stream(stream, recover=False)
+        self.merger.bootstrap(logs)
+        self.start()
+
+    @property
+    def subscriptions(self) -> tuple[str, ...]:
+        return self.merger.subscriptions
+
+    # -- stream plumbing -------------------------------------------------------
+
+    def _attach_stream(
+        self,
+        stream: str,
+        recover: bool,
+        start_instance: int = 0,
+        base_position: int = 0,
+    ) -> TokenLog:
+        if stream in self.learners:
+            return self.logs[stream]
+        deployment = self.directory[stream]
+        log = TokenLog(start_position=base_position)
+
+        def on_decided(instance: int, batch: Batch, _stream=stream, _log=log):
+            _log.append_batch(batch, instance=instance)
+            self.merger.notify(_stream)
+
+        def on_rebase(_first_instance: int, base_position: int, _log=log):
+            _log.rebase(base_position)
+
+        core = LearnerCore(
+            self.env,
+            deployment.config,
+            on_decided,
+            send=self.send,
+            on_rebase=on_rebase,
+            start_instance=start_instance,
+        )
+        core.start()
+        self.learners[stream] = core
+        self.logs[stream] = log
+        deployment.add_learner(self.name)
+        if recover:
+            core.start_recovery()
+        return log
+
+    def _provide_stream(self, stream: str) -> TokenLog:
+        """Merger callback: it needs a stream it has no learner for."""
+        return self._attach_stream(stream, recover=True)
+
+    def crash(self) -> None:
+        """Crash the replica: the host drops traffic and every learner
+        task (and its gap-repair timer) halts."""
+        for core in self.learners.values():
+            core.stop()
+        super().crash()
+
+    # -- checkpointing & crash recovery ---------------------------------------
+
+    def snapshot_state(self):
+        """Subclass hook: application state to include in a checkpoint."""
+        return None
+
+    def restore_state(self, state) -> None:
+        """Subclass hook: reinstall application state from a checkpoint."""
+
+    def make_checkpoint(self) -> dict:
+        """Capture a recovery point: Σ, merge cursors, replay points and
+        the application state.
+
+        Only valid while no subscription is in flight (the dMerge's
+        pending machinery is not checkpointed; callers retry later).
+        """
+        if self.merger.pending_subscription is not None:
+            raise RuntimeError(
+                f"{self.name}: cannot checkpoint during a subscription"
+            )
+        cursors = self.merger.positions()
+        streams = {}
+        for stream in self.merger.sigma:
+            cursor = cursors[stream]
+            instance, base = self.logs[stream].replay_point(cursor)
+            streams[stream] = {
+                "replay_instance": instance,
+                "base_position": base,
+                "cursor": cursor,
+            }
+        return {
+            "sigma": list(self.merger.sigma),
+            "streams": streams,
+            "state": self.snapshot_state(),
+        }
+
+    def recover_from_checkpoint(self, checkpoint: dict) -> None:
+        """Rebuild this replica after a crash from ``checkpoint``.
+
+        Learner tasks re-fetch decided instances from the replay points;
+        the dMerge resumes at the checkpointed cursors and replays
+        everything ordered since -- *including* subscribe/unsubscribe
+        messages, so the replica re-learns all subscription changes that
+        happened while it was down (§VIII-B of the paper).
+        """
+        for stream in list(self.learners):
+            self._release_stream(stream)
+        self.host.recover()
+        self.merger = ElasticMerger(
+            group=self.group,
+            deliver=self.apply,
+            stream_provider=self._provide_stream,
+            stream_releaser=self._release_stream,
+            on_subscription_change=self.on_subscription_change,
+            now=lambda: self.env.now,
+        )
+        logs = {}
+        positions = {}
+        for stream, point in checkpoint["streams"].items():
+            logs[stream] = self._attach_stream(
+                stream,
+                recover=False,
+                start_instance=point["replay_instance"],
+                base_position=point["base_position"],
+            )
+            positions[stream] = point["cursor"]
+        self.merger.bootstrap(logs, positions=positions)
+        self.restore_state(checkpoint["state"])
+        self.start()
+        for stream in checkpoint["streams"]:
+            self.learners[stream].start_recovery()
+
+    def safe_trim_instance(self, stream: str) -> Optional[int]:
+        """Highest acceptor-log instance this replica no longer needs.
+
+        None when the replica subscribes to ``stream`` but cannot spare
+        anything yet.  Raises KeyError for streams it does not consume.
+        """
+        if stream not in self.logs:
+            raise KeyError(f"{self.name} has no learner for {stream!r}")
+        position = self.merger.positions().get(stream)
+        if position is None:
+            # Attached (prepare/pending) but not merging yet: the whole
+            # backlog is still needed.
+            return None
+        return self.logs[stream].instance_consumed_below(position)
+
+    def _release_stream(self, stream: str) -> None:
+        """Merger callback: Σ dropped a stream; stop its learner task."""
+        core = self.learners.pop(stream, None)
+        if core is not None:
+            core.stop()
+        self.logs.pop(stream, None)
+        deployment = self.directory.get(stream)
+        if deployment is not None:
+            deployment.remove_learner(self.name)
+
+    # -- message dispatch ---------------------------------------------------------
+
+    def dispatch(self, payload, src):
+        if isinstance(payload, Decision):
+            learner = self.learners.get(payload.stream)
+            if learner is not None:       # decisions may trail an unsubscribe
+                learner.on_decision(payload, src)
+            return
+        if isinstance(payload, RecoverReply):
+            learner = self.learners.get(payload.stream)
+            if learner is not None:
+                learner.on_recover_reply(payload, src)
+            return
+        super().dispatch(payload, src)

@@ -1,0 +1,372 @@
+"""Streams: the unit Elastic Paxos composes.
+
+A *stream* is one Multi-Paxos sequence.  :class:`StreamDeployment`
+wires a coordinator and its acceptors onto the simulated network and
+manages the learner set (in ring mode the decision fan-out happens at
+the last acceptor, so learner changes are pushed to the acceptors --
+the role ZooKeeper plays for URingPaxos).
+
+:class:`TokenLog` is the replica-side view of a stream: decided batches
+flattened into a position-indexed sequence of tokens.  *Positions* are
+the timestamps of Elastic Paxos -- the subscribe request's position in
+each stream defines the merge point -- so they are absolute from the
+beginning of the stream.  A :class:`SkipToken` with count ``n``
+occupies ``n`` consecutive positions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Optional
+
+import dataclasses
+
+from ..paxos.acceptor import AcceptorActor
+from ..paxos.config import StreamConfig
+from ..paxos.coordinator import CoordinatorActor
+from ..paxos.ballot import quorum_size
+from ..paxos.failover import FailoverMonitor, RingWatchdog
+from ..paxos.learner import LearnerActor
+from ..paxos.types import Batch, SkipToken, Token  # noqa: F401 (SkipToken used by fast_forward)
+from ..sim.core import Environment
+from ..sim.network import Network
+from ..storage.stable import StableStore
+
+__all__ = ["StreamDeployment", "TokenLog"]
+
+
+class TokenLog:
+    """Position-indexed, append-only token sequence of one stream."""
+
+    def __init__(self, start_position: int = 0):
+        self._tokens: list[Token] = []
+        self._starts: list[int] = []          # start position of each token
+        self._frontier = start_position       # first position not yet filled
+        self._base = start_position
+        # (end_position, instance) per appended batch, for the trim
+        # coordinator: positions consumed map back to Paxos instances.
+        self._batch_ends: list[tuple[int, int]] = []
+
+    @property
+    def frontier(self) -> int:
+        """First position for which no token is known yet."""
+        return self._frontier
+
+    @property
+    def base(self) -> int:
+        """First position this log covers (0 unless seeded post-trim)."""
+        return self._base
+
+    def rebase(self, position: int) -> None:
+        """Seed an empty log at ``position`` (post-trim recovery)."""
+        if self._tokens:
+            raise RuntimeError("cannot rebase a log that already has tokens")
+        if position < self._base:
+            raise ValueError("rebase must not move backwards")
+        self._base = position
+        self._frontier = position
+
+    def append_batch(self, batch: Batch, instance: Optional[int] = None) -> None:
+        for token in batch.tokens:
+            self.append(token)
+        if instance is not None:
+            self._batch_ends.append((self._frontier, instance))
+
+    def instance_consumed_below(self, position: int) -> Optional[int]:
+        """Highest instance whose batch ends at or before ``position``.
+
+        Returns None when no full batch lies below ``position``.  Used
+        by the trim coordinator to translate a replica's merge cursor
+        back into a safe acceptor-log trim horizon.
+        """
+        index = bisect.bisect_right(self._batch_ends, (position, float("inf")))
+        if index == 0:
+            return None
+        return self._batch_ends[index - 1][1]
+
+    def replay_point(self, position: int) -> tuple[int, int]:
+        """Where a recovering replica must restart to cover ``position``.
+
+        Returns ``(instance, base_position)``: re-fetch decided batches
+        from ``instance`` on, seed the fresh token log at
+        ``base_position`` (the start of that instance's tokens), and the
+        merge cursor resumes at ``position`` -- anything between base
+        and cursor is re-fetched but not re-delivered.
+        """
+        index = bisect.bisect_right(self._batch_ends, (position, float("inf")))
+        if index == 0:
+            return 0, self._base
+        end, instance = self._batch_ends[index - 1]
+        return instance + 1, end
+
+    def append(self, token: Token) -> None:
+        positions = token.positions()
+        if positions <= 0:
+            raise ValueError(f"token {token!r} occupies no position")
+        self._tokens.append(token)
+        self._starts.append(self._frontier)
+        self._frontier += positions
+
+    def token_count(self) -> int:
+        return len(self._tokens)
+
+    def start_of(self, index: int) -> int:
+        """Start position of the token at ``index``."""
+        return self._starts[index]
+
+    def token_at(self, index: int) -> Token:
+        return self._tokens[index]
+
+    def token_covering(self, position: int, hint: int = 0) -> tuple[Optional[Token], int]:
+        """Return ``(token, token_index)`` covering ``position``.
+
+        ``hint`` is a token index to start the forward scan from (the
+        merger's cursor); the scan is O(1) amortized for sequential
+        access.  Returns ``(None, hint)`` when ``position`` is at or
+        beyond the frontier.
+        """
+        if position < self._base:
+            raise ValueError(
+                f"position {position} precedes log base {self._base}"
+            )
+        if position >= self._frontier:
+            return None, min(hint, len(self._tokens))
+        index = min(max(hint, 0), len(self._tokens) - 1)
+        # Walk backwards if the hint overshot, forwards otherwise.
+        while self._starts[index] > position:
+            index -= 1
+        while (
+            index + 1 < len(self._tokens)
+            and self._starts[index + 1] <= position
+        ):
+            token_end = self._starts[index] + self._tokens[index].positions()
+            if position < token_end:
+                break
+            index += 1
+        return self._tokens[index], index
+
+
+class StreamDeployment:
+    """One stream's server side: coordinator + acceptors on the network."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        config: StreamConfig,
+        stable_store_factory: Optional[Callable[[str], StableStore]] = None,
+        recovery_instance_cost: float = 0.0,
+    ):
+        self.env = env
+        self.network = network
+        self.config = config
+        # Two coordinator slots (primary + optional standby) partition
+        # the ballot space: primary owns even ballots, standby odd.
+        self.coordinator = CoordinatorActor(
+            env, network, config, coordinator_index=0, n_coordinators=2
+        )
+        self.standby: Optional[CoordinatorActor] = None
+        self.monitor: Optional[FailoverMonitor] = None
+        self.watchdog: Optional[RingWatchdog] = None
+        self.acceptors: list[AcceptorActor] = []
+        for name in config.acceptors:
+            store = stable_store_factory(name) if stable_store_factory else None
+            self.acceptors.append(
+                AcceptorActor(
+                    env,
+                    network,
+                    name,
+                    stream=config.name,
+                    ring=config.acceptors,
+                    store=store,
+                    recovery_instance_cost=recovery_instance_cost,
+                )
+            )
+        self._learners: list[str] = []
+        self._sync_decision_targets()
+        self.started = False
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        for acceptor in self.acceptors:
+            acceptor.start()
+        self.coordinator.start()
+
+    def stop(self) -> None:
+        if not self.started:
+            return
+        self.started = False
+        self.coordinator.stop()
+        if self.standby is not None:
+            self.standby.stop()
+        if self.monitor is not None:
+            self.monitor.stop()
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        for acceptor in self.acceptors:
+            acceptor.stop()
+
+    # -- failover ----------------------------------------------------------
+
+    def enable_failover(
+        self, interval: float = 0.1, misses: int = 3
+    ) -> FailoverMonitor:
+        """Deploy a standby coordinator plus a heartbeat monitor that
+        promotes it when the primary goes silent."""
+        if self.standby is not None:
+            raise RuntimeError(f"stream {self.name} already has a standby")
+        standby_config = dataclasses.replace(
+            self.config, coordinator=f"{self.name}/coordinator-standby"
+        )
+        self.standby = CoordinatorActor(
+            self.env,
+            self.network,
+            standby_config,
+            coordinator_index=1,
+            n_coordinators=2,
+            standby=True,
+        )
+        self.standby.start()
+        self.monitor = FailoverMonitor(
+            self.env,
+            self.network,
+            f"{self.name}/monitor",
+            active=self.config.coordinator,
+            standby=self.standby,
+            interval=interval,
+            misses=misses,
+            on_failover=self._on_failover,
+        )
+        self.monitor.start()
+        return self.monitor
+
+    def _on_failover(self) -> None:
+        """Repoint the deployment at the promoted standby."""
+        for learner in self._learners:
+            self.standby.add_learner(learner)
+        self.coordinator = self.standby
+        self.config.coordinator = self.standby.name
+        self._sync_decision_targets()
+
+    # -- ring reformation ------------------------------------------------------
+
+    def enable_ring_watchdog(
+        self, interval: float = 0.1, misses: int = 3
+    ) -> RingWatchdog:
+        """Monitor the acceptor ring and reform it around crashed
+        members (URingPaxos keeps the ring layout in ZooKeeper and
+        reforms it the same way)."""
+        self.watchdog = RingWatchdog(
+            self.env,
+            self.network,
+            f"{self.name}/ring-watchdog",
+            targets=list(self.config.acceptors),
+            on_suspect=self.reform_ring,
+            interval=interval,
+            misses=misses,
+        )
+        self.watchdog.start()
+        return self.watchdog
+
+    def reform_ring(self, crashed: str) -> None:
+        """Remove ``crashed`` from the ring and re-anchor the stream.
+
+        Safe while the surviving ring still constitutes a majority of
+        the original acceptor set: every decided instance was accepted
+        by the full ring, so the survivors hold all decided state, and
+        Phase 1 on the new ring re-anchors anything in flight.
+        """
+        survivors = tuple(a for a in self.config.acceptors if a != crashed)
+        original = getattr(self, "_original_acceptors", None)
+        if original is None:
+            original = self.config.acceptors
+            self._original_acceptors = original
+        if len(survivors) < quorum_size(len(original)):
+            raise RuntimeError(
+                f"cannot reform ring of {self.name}: survivors {survivors} "
+                f"are no majority of {original}"
+            )
+        self.config.acceptors = survivors
+        self.acceptors = [a for a in self.acceptors if a.name != crashed]
+        for acceptor in self.acceptors:
+            acceptor.core.ring = survivors
+        self._sync_decision_targets()
+        if getattr(self, "watchdog", None) is not None:
+            self.watchdog.forget(crashed)
+        self.coordinator.take_over()
+
+    # -- learner management (the ZooKeeper-maintained ring config) --------
+
+    def add_learner(self, learner_name: str) -> None:
+        if learner_name in self._learners:
+            return
+        self._learners.append(learner_name)
+        self.coordinator.add_learner(learner_name)
+        self._sync_decision_targets()
+
+    def remove_learner(self, learner_name: str) -> None:
+        if learner_name not in self._learners:
+            return
+        self._learners.remove(learner_name)
+        self.coordinator.remove_learner(learner_name)
+        self._sync_decision_targets()
+
+    def _sync_decision_targets(self) -> None:
+        # In ring mode the final acceptor fans decisions out to the
+        # other acceptors, the coordinator and every learner.
+        targets = (
+            list(self.config.acceptors)
+            + [self.config.coordinator]
+            + list(self._learners)
+        )
+        for acceptor in self.acceptors:
+            acceptor.decision_targets = targets
+
+    # -- convenience -------------------------------------------------------
+
+    def propose(self, token: Token) -> None:
+        """Inject a token at the coordinator (zero client latency)."""
+        self.coordinator.propose(token)
+
+    def fast_forward(self, to_position: int) -> int:
+        """Align a freshly created stream with an existing ensemble.
+
+        Stream positions are the merge's logical clock: a new stream
+        starts at position 0 while long-running streams sit millions of
+        positions ahead, and the merge point (``max`` over positions)
+        would stall the subscription until the newcomer generated that
+        many positions at rate λ.  Proposing one skip covering the gap
+        up front aligns the newcomer's position counter immediately --
+        this is how a provisioned stream joins a running ensemble.
+
+        Returns the skip size proposed (0 if already past the target).
+        """
+        gap = to_position - self.coordinator.positions_proposed
+        if gap <= 0:
+            return 0
+        self.coordinator.propose(SkipToken(count=gap))
+        return gap
+
+    def make_learner(
+        self,
+        name: str,
+        on_deliver: Callable[[int, Batch], None],
+        gap_timeout: float = 0.2,
+    ) -> LearnerActor:
+        """Create (and start) a learner actor attached to this stream."""
+        learner = LearnerActor(
+            self.env, self.network, name, self.config, on_deliver, gap_timeout
+        )
+        learner.start()
+        self.add_learner(name)
+        return learner
+
+    def drop_learner(self, learner: LearnerActor) -> None:
+        self.remove_learner(learner.name)
+        learner.stop()

@@ -1,0 +1,106 @@
+"""Actor base class: a protocol role bound to a simulated host.
+
+An :class:`Actor` drains its host's inbox in a receive loop and
+dispatches each payload to ``on_<MessageClassName>`` methods, e.g. a
+``Phase1a`` payload is dispatched to ``on_phase1a(msg, src)``.  Unknown
+message types raise -- a replica silently ignoring a message it should
+handle is a bug, not a feature.
+
+Actors respect crash state: while the underlying host is crashed the
+receive loop idles, and :meth:`Actor.send` drops outgoing traffic,
+mirroring a dead process.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from ..sim.core import Environment, Interrupt, Process
+from ..sim.network import Network
+from .messages import Message
+
+__all__ = ["Actor"]
+
+_CAMEL_RE = re.compile(r"(?<!^)(?=[A-Z])")
+
+
+def _handler_name(payload: Any) -> str:
+    return "on_" + _CAMEL_RE.sub("_", type(payload).__name__).lower()
+
+
+class Actor:
+    """A named protocol participant attached to a network host."""
+
+    def __init__(self, env: Environment, network: Network, name: str):
+        self.env = env
+        self.network = network
+        self.name = name
+        self.host = network.add_host(name)
+        self._loop: Optional[Process] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True while the receive loop is active."""
+        return self._loop is not None and self._loop.is_alive
+
+    def start(self) -> None:
+        """Begin draining the inbox."""
+        if self.running:
+            raise RuntimeError(f"{self.name} already started")
+        self._loop = self.env.process(self._receive_loop())
+
+    def stop(self) -> None:
+        """Stop the receive loop (without crashing the host)."""
+        if self._loop is not None and self._loop.is_alive:
+            self._loop.interrupt("stop")
+        self._loop = None
+
+    def crash(self) -> None:
+        """Crash the actor's host and halt its receive loop."""
+        self.host.crash()
+        self.stop()
+
+    def recover(self) -> None:
+        """Restart after a crash; volatile state must be rebuilt by the
+        subclass (override and call ``super().recover()``)."""
+        self.host.recover()
+        self.start()
+
+    @property
+    def crashed(self) -> bool:
+        return self.host.crashed
+
+    # -- messaging ------------------------------------------------------
+
+    def send(self, dst: str, payload: Message) -> None:
+        """Send ``payload`` to the actor named ``dst``."""
+        if self.host.crashed:
+            return
+        self.network.send(self.name, dst, payload, size=payload.wire_size())
+
+    def send_all(self, dsts: list[str], payload: Message) -> None:
+        for dst in dsts:
+            self.send(dst, payload)
+
+    # -- dispatch ------------------------------------------------------
+
+    def _receive_loop(self):
+        while True:
+            try:
+                envelope = yield self.host.inbox.get()
+            except Interrupt:
+                return
+            self.dispatch(envelope.payload, envelope.src)
+
+    def dispatch(self, payload: Any, src: str) -> None:
+        """Route ``payload`` to the matching ``on_*`` handler."""
+        handler = getattr(self, _handler_name(payload), None)
+        if handler is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} {self.name!r} has no handler "
+                f"{_handler_name(payload)!r} for {payload!r}"
+            )
+        handler(payload, src)

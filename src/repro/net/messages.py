@@ -1,0 +1,55 @@
+"""Base types for protocol messages.
+
+Messages are immutable dataclasses.  Each message knows its wire size
+in bytes, which feeds the network's bandwidth model: the paper's
+vertical-scalability experiment sends 32 KiB values, and stream
+throughput saturates on serialisation, so size accounting matters for
+reproducing the figure shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any
+
+__all__ = ["Message", "WIRE_HEADER_BYTES"]
+
+# Fixed per-message framing overhead (headers, type tag, checksums).
+WIRE_HEADER_BYTES = 48
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all protocol messages.
+
+    Subclasses may either rely on the generic field-based size estimate
+    or carry an explicit payload size (see e.g. stream values, whose
+    application payload dominates).
+    """
+
+    def wire_size(self) -> int:
+        """Estimated serialized size in bytes."""
+        return WIRE_HEADER_BYTES + sum(
+            _field_size(getattr(self, f.name)) for f in fields(self)
+        )
+
+
+def _field_size(value: Any) -> int:
+    """Rough serialized size of one field value."""
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, (list, tuple, frozenset, set)):
+        return 4 + sum(_field_size(v) for v in value)
+    if isinstance(value, dict):
+        return 4 + sum(_field_size(k) + _field_size(v) for k, v in value.items())
+    if hasattr(value, "wire_size"):
+        return value.wire_size()
+    return 16

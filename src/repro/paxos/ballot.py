@@ -1,0 +1,45 @@
+"""Ballot numbering and quorums.
+
+Ballots are totally ordered integers partitioned among potential
+coordinators: coordinator ``k`` of ``n`` owns ballots ``k, k + n,
+k + 2n, ...`` so two coordinators can never issue the same ballot.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ballot_for", "owner_of", "next_ballot", "quorum_size"]
+
+
+def ballot_for(coordinator_index: int, attempt: int, n_coordinators: int) -> int:
+    """Ballot used by ``coordinator_index`` on its ``attempt``-th try."""
+    if not 0 <= coordinator_index < n_coordinators:
+        raise ValueError(
+            f"coordinator index {coordinator_index} out of range "
+            f"[0, {n_coordinators})"
+        )
+    if attempt < 0:
+        raise ValueError("attempt must be >= 0")
+    return attempt * n_coordinators + coordinator_index
+
+
+def owner_of(ballot: int, n_coordinators: int) -> int:
+    """Index of the coordinator that owns ``ballot``."""
+    if ballot < 0:
+        raise ValueError("ballots are non-negative")
+    return ballot % n_coordinators
+
+
+def next_ballot(current: int, coordinator_index: int, n_coordinators: int) -> int:
+    """Smallest ballot owned by ``coordinator_index`` greater than ``current``."""
+    attempt = current // n_coordinators + 1
+    candidate = ballot_for(coordinator_index, attempt, n_coordinators)
+    if candidate <= current:
+        candidate += n_coordinators
+    return candidate
+
+
+def quorum_size(n_acceptors: int) -> int:
+    """Majority quorum size for ``n_acceptors``."""
+    if n_acceptors < 1:
+        raise ValueError("need at least one acceptor")
+    return n_acceptors // 2 + 1

@@ -1,0 +1,55 @@
+"""Configuration of one Paxos stream (one Multi-Paxos sequence)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .skip import DEFAULT_DELTA_T, DEFAULT_LAMBDA
+
+__all__ = ["StreamConfig"]
+
+
+@dataclass
+class StreamConfig:
+    """Everything that defines a stream's behaviour.
+
+    Attributes mirror the knobs of URingPaxos that the paper exercises:
+    λ and Δt (§VII-A), batching, ring dissemination, and the throughput
+    throttle used in the vertical-scalability experiment ("we limited
+    the single stream throughput to 30%").
+    """
+
+    name: str
+    acceptors: tuple[str, ...]
+    coordinator: str = ""
+    ring_mode: bool = True
+    lam: int = DEFAULT_LAMBDA
+    delta_t: float = DEFAULT_DELTA_T
+    skip_enabled: bool = True
+
+    # Batching & pipelining.
+    batch_max_tokens: int = 16
+    batch_max_bytes: int = 256 * 1024
+    window: int = 16                      # outstanding instances
+
+    # Coordinator CPU model (seconds of CPU per unit).
+    cpu_cost_per_batch: float = 0.0
+    cpu_cost_per_token: float = 0.0
+    cpu_cost_per_byte: float = 0.0
+
+    # Optional cap on application-token proposal rate (tokens/second).
+    value_rate_limit: Optional[float] = None
+
+    # Loss tolerance: retransmit an undecided instance after this long.
+    retransmit_timeout: float = 0.5
+
+    def __post_init__(self):
+        if not self.acceptors:
+            raise ValueError(f"stream {self.name!r} needs at least one acceptor")
+        if not self.coordinator:
+            self.coordinator = f"{self.name}/coordinator"
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.batch_max_tokens < 1:
+            raise ValueError("batch_max_tokens must be >= 1")

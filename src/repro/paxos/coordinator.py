@@ -1,0 +1,416 @@
+"""Multi-Paxos coordinator (the per-stream leader).
+
+The coordinator owns a ballot, runs Phase 1 once over an open-ended
+instance window, and then decides a pipeline of instances with single
+round trips.  It batches client tokens, tops the stream up with skip
+tokens every Δt so that the stream sustains the virtual rate λ
+(:mod:`repro.paxos.skip`), retransmits undecided instances, and hands
+decisions to the registered learners.
+
+Dissemination modes
+-------------------
+* *ring* (URingPaxos): Phase 2 travels coordinator → a1 → … → an; the
+  last acceptor fans the decision out to learners.  One network hop per
+  acceptor, high throughput.
+* *classic*: Phase 2a is fanned out to all acceptors, the coordinator
+  collects a majority of 2b and fans out the decision.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..net.actor import Actor
+from ..sim.core import Environment, Interrupt
+from ..sim.network import Network
+from ..sim.resources import Server
+from .ballot import ballot_for, next_ballot, quorum_size
+from .config import StreamConfig
+from .messages import (
+    Decision,
+    Heartbeat,
+    HeartbeatAck,
+    Phase1a,
+    Phase1b,
+    Phase2a,
+    Phase2b,
+    Propose,
+    RingAccept,
+    Trim,
+)
+from .types import AppValue, Batch, SkipToken
+
+__all__ = ["CoordinatorActor"]
+
+
+class CoordinatorActor(Actor):
+    """The leader of one Paxos stream."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        config: StreamConfig,
+        coordinator_index: int = 0,
+        n_coordinators: int = 1,
+        standby: bool = False,
+    ):
+        super().__init__(env, network, config.coordinator)
+        self.config = config
+        self.stream = config.name
+        self.coordinator_index = coordinator_index
+        self.n_coordinators = n_coordinators
+        self.ballot = ballot_for(coordinator_index, 0, n_coordinators)
+        self.leading = False
+        self.standby = standby
+
+        self.next_instance = 0
+        self.pending: deque = deque()          # tokens awaiting proposal
+        self.outstanding: dict[int, dict] = {}  # instance -> tracking info
+        self.decided_instances: set[int] = set()
+        self.learners: list[str] = []
+
+        self.positions_decided = 0             # lifetime decided positions
+        self.positions_proposed = 0            # lifetime proposed positions
+
+        cpu_needed = (
+            config.cpu_cost_per_batch
+            or config.cpu_cost_per_token
+            or config.cpu_cost_per_byte
+        )
+        self.cpu: Optional[Server] = (
+            Server(env, rate=1.0, name=f"{self.name}:cpu") if cpu_needed else None
+        )
+        self._value_gate_open = 0.0            # token-bucket time for throttle
+        self._throttle_wakeup: Optional[float] = None
+        self._proposing = False
+        self._processes = []
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        super().start()
+        if self.standby:
+            return   # answers heartbeats only, until promoted
+        self._run_phase1()
+        if self.config.skip_enabled:
+            self._processes.append(self.env.process(self._skip_loop()))
+        self._processes.append(self.env.process(self._retransmit_loop()))
+
+    def promote(self) -> None:
+        """Promote a standby to active: claim the stream with a higher
+        ballot and start the background loops."""
+        if not self.standby:
+            raise RuntimeError(f"{self.name} is not a standby")
+        self.standby = False
+        self.take_over()
+        if self.config.skip_enabled:
+            self._processes.append(self.env.process(self._skip_loop()))
+        self._processes.append(self.env.process(self._retransmit_loop()))
+        self._processes.append(self.env.process(self._phase1_retry_loop()))
+
+    def _phase1_retry_loop(self):
+        """Escalate the ballot until Phase 1 succeeds (the previous
+        leader may have promised acceptors to a higher ballot)."""
+        while True:
+            try:
+                yield self.env.timeout(2 * self.config.retransmit_timeout)
+            except Interrupt:
+                return
+            if self.leading:
+                return
+            self.take_over()
+
+    def on_heartbeat(self, msg: Heartbeat, src: str) -> None:
+        self.send(src, HeartbeatAck(nonce=msg.nonce))
+
+    def stop(self) -> None:
+        super().stop()
+        for proc in self._processes:
+            if proc.is_alive:
+                proc.interrupt("stop")
+        self._processes = []
+        self.leading = False
+
+    # -- learner management -------------------------------------------------
+
+    def add_learner(self, learner: str) -> None:
+        """Register a learner for decision dissemination.
+
+        In ring mode the decision fan-out happens at the last acceptor;
+        the deployment keeps acceptors' ``decision_targets`` in sync.
+        """
+        if learner not in self.learners:
+            self.learners.append(learner)
+
+    def remove_learner(self, learner: str) -> None:
+        if learner in self.learners:
+            self.learners.remove(learner)
+
+    # -- phase 1 ------------------------------------------------------------
+
+    def _run_phase1(self) -> None:
+        self._phase1_promises: dict[str, Phase1b] = {}
+        message = Phase1a(
+            stream=self.stream, ballot=self.ballot, from_instance=self.next_instance
+        )
+        self.send_all(list(self.config.acceptors), message)
+
+    def take_over(self) -> None:
+        """Claim leadership with a fresh, higher ballot (failover path)."""
+        self.ballot = next_ballot(self.ballot, self.coordinator_index, self.n_coordinators)
+        self.leading = False
+        self._run_phase1()
+
+    def on_phase1b(self, msg: Phase1b, src: str) -> None:
+        if msg.ballot != self.ballot or self.leading:
+            return
+        self._phase1_promises[msg.acceptor] = msg
+        if len(self._phase1_promises) < quorum_size(len(self.config.acceptors)):
+            return
+        # Quorum reached: adopt the highest accepted value per instance.
+        adopted: dict[int, tuple[int, Batch]] = {}
+        for promise in self._phase1_promises.values():
+            for instance, vrnd, batch in promise.accepted:
+                if instance not in adopted or vrnd > adopted[instance][0]:
+                    adopted[instance] = (vrnd, batch)
+        self.leading = True
+        for instance in sorted(adopted):
+            _vrnd, batch = adopted[instance]
+            self.next_instance = max(self.next_instance, instance + 1)
+            self._send_phase2(instance, batch)
+        self._pump_proposals()
+
+    # -- proposing ------------------------------------------------------------
+
+    def propose(self, token) -> None:
+        """Submit one token (value / control message) for ordering."""
+        self.positions_proposed += token.positions()
+        self.pending.append(token)
+        self._pump_proposals()
+
+    def on_propose(self, msg: Propose, src: str) -> None:
+        if msg.stream != self.stream:
+            raise ValueError(
+                f"{self.name} leads stream {self.stream!r}, got a proposal "
+                f"for {msg.stream!r}"
+            )
+        self.propose(msg.token)
+
+    def _pump_proposals(self) -> None:
+        if self._proposing:
+            return
+        self._proposing = True
+        try:
+            while (
+                self.leading
+                and self.pending
+                and len(self.outstanding) < self.config.window
+            ):
+                if not self._admit_by_throttle():
+                    break
+                batch = self._take_batch()
+                instance = self.next_instance
+                self.next_instance += 1
+                if self.cpu is not None:
+                    cost = (
+                        self.config.cpu_cost_per_batch
+                        + self.config.cpu_cost_per_token * len(batch.tokens)
+                        + self.config.cpu_cost_per_byte * batch.payload_bytes
+                    )
+                    self.outstanding[instance] = {
+                        "batch": batch, "sent_at": None, "pending_cpu": True,
+                    }
+                    done = self.cpu.request(cost)
+                    done.callbacks.append(
+                        lambda _e, i=instance, b=batch: self._after_cpu(i, b)
+                    )
+                else:
+                    self.outstanding[instance] = {
+                        "batch": batch, "sent_at": self.env.now, "pending_cpu": False,
+                    }
+                    self._send_phase2(instance, batch)
+        finally:
+            self._proposing = False
+
+    @property
+    def effective_value_limit(self) -> Optional[float]:
+        """Admission cap on application values, in values/second.
+
+        λ is the *maximum* virtual throughput of a stream: exceeding it
+        would let this stream's positions outrun its siblings' and
+        unbalance the deterministic merge, so when skips are enabled λ
+        also caps admission.  An explicit ``value_rate_limit`` (the 30%
+        throttle of §VII-C) lowers the cap further.
+        """
+        limits = [
+            limit
+            for limit in (
+                self.config.value_rate_limit,
+                float(self.config.lam) if self.config.skip_enabled else None,
+            )
+            if limit is not None
+        ]
+        return min(limits) if limits else None
+
+    def _admit_by_throttle(self) -> bool:
+        """Token-bucket throttle on application values (λ and the 30%
+        cap of the vertical-scalability experiment).  Control/skip
+        tokens are never throttled.
+
+        The bucket holds up to one batch of burst credit so that
+        batching still works under a throttle; admission of individual
+        values advances the gate inside :meth:`_take_batch`.
+        """
+        limit = self.effective_value_limit
+        if limit is None or not isinstance(self.pending[0], AppValue):
+            return True
+        now = self.env.now
+        # Idle time accrues credit, capped at one full batch.
+        burst = self.config.batch_max_tokens / limit
+        if self._value_gate_open < now - burst:
+            self._value_gate_open = now - burst
+        if self._value_gate_open > now:
+            # Not yet admitted: re-pump when the gate opens.  At most
+            # one wakeup is kept scheduled -- pump is re-entered from
+            # every propose/decide as well, so extra wakeups would
+            # accumulate quadratically.
+            gate = self._value_gate_open
+            if self._throttle_wakeup is None or self._throttle_wakeup > gate:
+                self._throttle_wakeup = gate
+                self.env.call_later(gate - now, self._throttle_wakeup_fired)
+            return False
+        return True
+
+    def _throttle_wakeup_fired(self) -> None:
+        self._throttle_wakeup = None
+        self._pump_proposals()
+
+    def _take_batch(self) -> Batch:
+        tokens = []
+        nbytes = 0
+        limit = self.effective_value_limit
+        now = self.env.now
+        while self.pending and len(tokens) < self.config.batch_max_tokens:
+            token = self.pending[0]
+            size = getattr(token, "size", 0)
+            if tokens and nbytes + size > self.config.batch_max_bytes:
+                break
+            if isinstance(token, AppValue) and limit is not None:
+                if self._value_gate_open > now:
+                    break   # bucket drained: the rest waits for credit
+                self._value_gate_open = max(
+                    self._value_gate_open, now - self.config.batch_max_tokens / limit
+                ) + 1.0 / limit
+            tokens.append(self.pending.popleft())
+            nbytes += size
+        return Batch(tokens=tuple(tokens))
+
+    def _after_cpu(self, instance: int, batch: Batch) -> None:
+        info = self.outstanding.get(instance)
+        if info is None:
+            return
+        info["pending_cpu"] = False
+        info["sent_at"] = self.env.now
+        self._send_phase2(instance, batch)
+        self._pump_proposals()
+
+    def _send_phase2(self, instance: int, batch: Batch) -> None:
+        if instance not in self.outstanding:
+            self.outstanding[instance] = {
+                "batch": batch, "sent_at": self.env.now, "pending_cpu": False,
+            }
+        self.outstanding[instance]["acks"] = set()
+        if self.config.ring_mode:
+            message = RingAccept(
+                stream=self.stream,
+                ballot=self.ballot,
+                instance=instance,
+                batch=batch,
+                accepted_by=0,
+            )
+            self.send(self.config.acceptors[0], message)
+        else:
+            message = Phase2a(
+                stream=self.stream, ballot=self.ballot, instance=instance, batch=batch
+            )
+            self.send_all(list(self.config.acceptors), message)
+
+    # -- deciding ---------------------------------------------------------------
+
+    def on_phase2b(self, msg: Phase2b, src: str) -> None:
+        if msg.ballot != self.ballot:
+            return
+        info = self.outstanding.get(msg.instance)
+        if info is None:
+            return
+        info.setdefault("acks", set()).add(msg.acceptor)
+        if len(info["acks"]) >= quorum_size(len(self.config.acceptors)):
+            batch = info["batch"]
+            decision = Decision(stream=self.stream, instance=msg.instance, batch=batch)
+            targets = list(self.learners) + list(self.config.acceptors)
+            self.send_all(targets, decision)
+            self._mark_decided(msg.instance, batch)
+
+    def on_decision(self, msg: Decision, src: str) -> None:
+        """Ring mode: the last acceptor's decision comes back to us."""
+        info = self.outstanding.get(msg.instance)
+        batch = info["batch"] if info else msg.batch
+        self._mark_decided(msg.instance, batch)
+
+    def _mark_decided(self, instance: int, batch: Batch) -> None:
+        if instance in self.decided_instances:
+            return
+        self.decided_instances.add(instance)
+        self.outstanding.pop(instance, None)
+        self.positions_decided += batch.positions()
+        self._pump_proposals()
+
+    # -- skips ---------------------------------------------------------------
+
+    def _skip_loop(self):
+        """Top the stream up to the virtual rate λ every Δt.
+
+        The target is *absolute*: position λ·now.  Pacing every stream
+        against the same virtual position clock (instead of a relative
+        λ·Δt increment per interval) keeps all streams of a deployment
+        within ~λ·Δt positions of each other no matter when they were
+        created -- a stream provisioned mid-run tops itself up to the
+        ensemble's position in its first tick, and transient offsets
+        heal instead of persisting as permanent merge latency.
+        """
+        while True:
+            try:
+                yield self.env.timeout(self.config.delta_t)
+            except Interrupt:
+                return
+            if not self.leading:
+                continue
+            deficit = int(self.config.lam * self.env.now) - self.positions_proposed
+            if deficit > 0:
+                self.propose(SkipToken(count=deficit))
+
+    # -- retransmission ---------------------------------------------------------
+
+    def _retransmit_loop(self):
+        while True:
+            try:
+                yield self.env.timeout(self.config.retransmit_timeout)
+            except Interrupt:
+                return
+            if not self.leading:
+                continue
+            deadline = self.env.now - self.config.retransmit_timeout
+            for instance, info in sorted(self.outstanding.items()):
+                sent_at = info.get("sent_at")
+                if sent_at is not None and sent_at <= deadline:
+                    self._send_phase2(instance, info["batch"])
+                    info["sent_at"] = self.env.now
+
+    # -- log management -----------------------------------------------------------
+
+    def trim(self, below: int) -> None:
+        """Ask all acceptors to trim their logs below ``below``."""
+        message = Trim(stream=self.stream, below=below)
+        self.send_all(list(self.config.acceptors), message)

@@ -1,0 +1,76 @@
+"""The λ/Δt skip mechanism of Multi-Ring Paxos (§III-B, §VII-A).
+
+Replicas subscribed to several streams merge them round-robin, so the
+merged delivery rate is gated by the *slowest* stream.  To stop an idle
+stream from stalling the merge, its coordinator periodically tops the
+stream up with skip tokens so that every stream advances at the same
+virtual rate λ (stream positions per second), sampled every Δt.
+
+The paper runs all experiments with λ = 4000 and Δt = 100 ms.
+
+Two pacing policies exist:
+
+* **relative** (this module's :class:`SkipCalculator`): each interval
+  is topped up to λ·Δt positions.  This is the textbook Multi-Ring
+  Paxos formulation, kept as the reference implementation;
+* **absolute** (what :class:`repro.paxos.coordinator.CoordinatorActor`
+  uses): the stream is topped up to position λ·now, pinning every
+  stream of a deployment to one global virtual position clock, so
+  streams created mid-run self-align and transient offsets heal rather
+  than persisting as merge latency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SkipCalculator", "DEFAULT_LAMBDA", "DEFAULT_DELTA_T"]
+
+DEFAULT_LAMBDA = 4000      # stream positions per second
+DEFAULT_DELTA_T = 0.100    # sampling interval in seconds
+
+
+class SkipCalculator:
+    """Tracks positions generated per sampling interval and computes the
+    skip top-up needed to sustain the virtual rate λ.
+
+    The calculator is deliberately stateful-but-pure (no simulation
+    dependencies): the coordinator feeds it ``positions_generated`` and
+    asks :meth:`skip_needed` once per Δt tick.
+    """
+
+    def __init__(self, lam: int = DEFAULT_LAMBDA, delta_t: float = DEFAULT_DELTA_T):
+        if lam <= 0:
+            raise ValueError("lambda must be positive")
+        if delta_t <= 0:
+            raise ValueError("delta_t must be positive")
+        self.lam = lam
+        self.delta_t = delta_t
+        self._generated_this_interval = 0
+        # Fractional positions carried between intervals so that λ·Δt
+        # not being an integer never drifts the virtual rate.
+        self._carry = 0.0
+
+    @property
+    def target_per_interval(self) -> float:
+        return self.lam * self.delta_t
+
+    def record_positions(self, count: int) -> None:
+        """Report ``count`` stream positions proposed (values or skips)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._generated_this_interval += count
+
+    def skip_needed(self) -> int:
+        """Close the current interval and return the skip top-up size.
+
+        Returns 0 when the stream generated at least λ·Δt positions by
+        itself (a loaded stream never skips).
+        """
+        target = self.target_per_interval + self._carry
+        deficit = target - self._generated_this_interval
+        self._generated_this_interval = 0
+        if deficit <= 0:
+            self._carry = 0.0
+            return 0
+        whole = int(deficit)
+        self._carry = deficit - whole
+        return whole

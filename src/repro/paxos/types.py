@@ -1,0 +1,131 @@
+"""Value types ordered by a Paxos stream.
+
+A consensus instance decides a :class:`Batch`: either a batch of
+application *tokens* or a skip.  Tokens are what the deterministic
+merger of Elastic Paxos consumes; each token occupies one *stream
+position*:
+
+* :class:`AppValue` -- one application message (a multicast payload);
+* :class:`SkipToken` -- ``count`` empty positions, proposed by the
+  coordinator so an under-loaded stream still advances at the virtual
+  rate λ (Multi-Ring Paxos);
+* :class:`SubscribeMsg` / :class:`UnsubscribeMsg` -- Elastic Paxos
+  control messages, ordered inside the streams themselves so that their
+  stream position is the "timestamp" the merge point is computed from;
+* :class:`PrepareMsg` -- the optimization hint of §V-C; delivered like
+  an app message but carrying no application payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+__all__ = [
+    "AppValue",
+    "Batch",
+    "PrepareMsg",
+    "SkipToken",
+    "SubscribeMsg",
+    "Token",
+    "UnsubscribeMsg",
+    "fresh_value_id",
+    "token_positions",
+]
+
+_ids = itertools.count(1)
+
+
+def fresh_value_id() -> int:
+    """Globally unique id for values created in this process."""
+    return next(_ids)
+
+
+@dataclass(frozen=True)
+class AppValue:
+    """One application message multicast to a stream."""
+
+    payload: Any
+    size: int = 128                 # application payload bytes
+    msg_id: int = field(default_factory=fresh_value_id)
+    sender: str = ""
+
+    def positions(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class SkipToken:
+    """``count`` skipped stream positions (never delivered)."""
+
+    count: int
+
+    def positions(self) -> int:
+        return self.count
+
+
+@dataclass(frozen=True)
+class SubscribeMsg:
+    """Request that replication group ``group`` subscribe to ``stream``.
+
+    Ordered in both the new stream and one currently subscribed stream;
+    ``request_id`` identifies the two copies as the same request.
+    """
+
+    group: str
+    stream: str
+    request_id: int = field(default_factory=fresh_value_id)
+
+    def positions(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class UnsubscribeMsg:
+    """Request that ``group`` unsubscribe from ``stream``."""
+
+    group: str
+    stream: str
+    request_id: int = field(default_factory=fresh_value_id)
+
+    def positions(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class PrepareMsg:
+    """Hint (§V-C): ``group`` will soon subscribe to ``stream``;
+    replicas should start recovering it in the background."""
+
+    group: str
+    stream: str
+    request_id: int = field(default_factory=fresh_value_id)
+
+    def positions(self) -> int:
+        return 1
+
+
+Token = Union[AppValue, SkipToken, SubscribeMsg, UnsubscribeMsg, PrepareMsg]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """The value decided by one consensus instance."""
+
+    tokens: tuple = ()
+
+    def positions(self) -> int:
+        return token_positions(self.tokens)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(t.size for t in self.tokens if isinstance(t, AppValue))
+
+    def is_pure_skip(self) -> bool:
+        return all(isinstance(t, SkipToken) for t in self.tokens)
+
+
+def token_positions(tokens) -> int:
+    """Total stream positions occupied by ``tokens``."""
+    return sum(t.positions() for t in tokens)

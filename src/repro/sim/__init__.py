@@ -1,0 +1,53 @@
+"""Deterministic discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`Environment`, :class:`Event`, :class:`Process`, timeouts and
+  composite conditions -- the kernel (:mod:`repro.sim.core`);
+* :class:`Store` -- blocking FIFO queues (:mod:`repro.sim.queues`);
+* :class:`Network`, :class:`Host`, :class:`LinkSpec`, :class:`Envelope`
+  -- the message-passing fabric (:mod:`repro.sim.network`);
+* :class:`Server` -- CPU/disk capacity model (:mod:`repro.sim.resources`);
+* :class:`Counter`, :class:`Series`, :class:`UtilisationProbe` --
+  measurement probes (:mod:`repro.sim.monitor`);
+* :class:`RngRegistry` -- named seeded RNG streams (:mod:`repro.sim.rng`).
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .monitor import Counter, Series, UtilisationProbe, percentile
+from .network import Envelope, Host, LinkSpec, Network
+from .queues import QueueFull, Store
+from .resources import Server
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Envelope",
+    "Environment",
+    "Event",
+    "Host",
+    "Interrupt",
+    "LinkSpec",
+    "Network",
+    "Process",
+    "QueueFull",
+    "RngRegistry",
+    "Series",
+    "Server",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "UtilisationProbe",
+    "percentile",
+]

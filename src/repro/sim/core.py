@@ -1,0 +1,400 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, deterministic, generator-based
+discrete-event simulator in the style of SimPy.  Protocol actors are
+plain Python generator functions that ``yield`` events (timeouts, other
+processes, custom events); the :class:`Environment` owns virtual time
+and an event calendar, and advances time from one scheduled event to the
+next.
+
+Design notes
+------------
+* Determinism: events scheduled for the same instant fire in FIFO
+  order of scheduling (a monotonically increasing sequence number breaks
+  ties), so a fixed seed yields a bit-identical run.
+* Failure handling: exceptions raised inside a process propagate to the
+  processes waiting on it, and ultimately out of :meth:`Environment.run`
+  if nobody catches them.  Errors never pass silently.
+* Interrupts: a process may be interrupted (used for crash injection
+  and timeout patterns) which raises :class:`Interrupt` inside it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+_PENDING = object()
+
+
+class Event:
+    """An event that may succeed (with a value) or fail (with an exception).
+
+    Processes wait on events by yielding them.  Callbacks attached to an
+    event run when the event is *processed* (popped from the calendar),
+    in attachment order.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running process; itself an event that triggers on termination.
+
+    The wrapped generator yields :class:`Event` instances.  When a
+    yielded event succeeds, the generator is resumed with the event's
+    value; when it fails, the exception is thrown into the generator.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current instant.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process.
+
+        Interrupting a terminated process is an error; interrupting a
+        process that is waiting on an event detaches it from that event.
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        self._detach_from_target()
+        hit = Event(self.env)
+        hit._ok = False
+        hit._value = Interrupt(cause)
+        hit._defused = True  # the interrupt is delivered, not propagated
+        hit.callbacks.append(self._deliver_interrupt)
+        self.env._schedule(hit)
+
+    def _detach_from_target(self) -> None:
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        # The process may have acquired a (new) wait target between the
+        # interrupt being requested and delivered; detach from it now or
+        # its later firing would resume a terminated generator.
+        if self.triggered:
+            return  # terminated in the meantime: nothing to interrupt
+        self._detach_from_target()
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Stale wakeup: an event we were once waiting on fired after
+            # the process already terminated (interrupt delivery race).
+            if not event._ok:
+                event._defused = True
+            return
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                # Mark the failure as handled: it is being delivered.
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process with failure.
+            self.fail(exc)
+            return
+        except BaseException as exc:  # propagate to waiters / run()
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            self._generator.close()
+            self.fail(SimulationError(f"process yielded a non-event: {next_event!r}"))
+            return
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at this instant.
+            immediate = Event(self.env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            if not next_event._ok:
+                immediate._defused = True
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate)
+        else:
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._done = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            event: event._value
+            for event in self._events
+            if event.processed and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any constituent event triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when all constituent events have triggered."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """Owns virtual time and the event calendar.
+
+    Typical use::
+
+        env = Environment()
+
+        def clock(env, name, tick):
+            while True:
+                yield env.timeout(tick)
+                print(name, env.now)
+
+        env.process(clock(env, "fast", 0.5))
+        env.run(until=2.0)
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run after ``delay`` time units.
+
+        Cheaper than spawning a process; used on hot paths such as
+        message delivery.  The returned event fires right after ``fn``.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _evt: fn(*args))
+        self._schedule(event, delay)
+        return event
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the calendar."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            # A failure nobody consumed: crash the simulation loudly.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar empties or virtual time reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if no event is scheduled at that instant.
+        """
+        if until is not None:
+            if until < self._now:
+                raise ValueError(
+                    f"until ({until}) lies in the past (now={self._now})"
+                )
+            stop = Event(self)
+            stop._ok = True
+            stop._value = None
+            self._schedule(stop, until - self._now)
+            while self._queue:
+                if self._queue[0][2] is stop:
+                    self._now = until
+                    heapq.heappop(self._queue)
+                    return
+                self.step()
+            self._now = until
+            return
+        while self._queue:
+            self.step()

@@ -1,0 +1,167 @@
+"""Measurement probes for simulated experiments.
+
+The paper's figures plot per-interval throughput, latency percentiles
+and CPU utilisation against runtime.  :class:`Counter` accumulates
+discrete occurrences (operations, bytes) and can be folded into
+per-interval rates; :class:`Series` records raw ``(time, value)``
+samples; :class:`UtilisationProbe` integrates busy time of a server.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Optional, Sequence
+
+from .core import Environment
+
+__all__ = ["Counter", "Series", "UtilisationProbe", "percentile"]
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Return the ``pct``-th percentile of ``samples`` (nearest-rank).
+
+    Raises ``ValueError`` on an empty sample set: an experiment that
+    measured nothing should fail loudly, not report 0 latency.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 < pct <= 100:
+        raise ValueError(f"percentile {pct} out of (0, 100]")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class Counter:
+    """Counts timestamped occurrences, e.g. completed operations."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._times: list[float] = []
+        self._weights: list[float] = []
+        self._total = 0.0
+
+    def record(self, weight: float = 1.0) -> None:
+        """Record ``weight`` occurrences at the current instant."""
+        self._times.append(self.env.now)
+        self._weights.append(weight)
+        self._total += weight
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def rate_between(self, start: float, end: float) -> float:
+        """Average rate (occurrences / time unit) over ``[start, end)``."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return sum(self._weights[lo:hi]) / (end - start)
+
+    def interval_rates(
+        self, interval: float, start: float = 0.0, end: Optional[float] = None
+    ) -> list[tuple[float, float]]:
+        """Fold occurrences into consecutive intervals.
+
+        Returns ``[(interval_start, rate), ...]`` covering
+        ``[start, end)``; ``end`` defaults to the current instant.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        stop = self.env.now if end is None else end
+        points = []
+        t = start
+        while t < stop:
+            t_next = min(t + interval, stop)
+            points.append((t, self.rate_between(t, t_next)))
+            t = t + interval
+        return points
+
+
+class Series:
+    """Raw ``(time, value)`` samples, e.g. per-request latencies."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, value: float) -> None:
+        self._times.append(self.env.now)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        return tuple(self._values)
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        return tuple(self._times)
+
+    def between(self, start: float, end: float) -> list[float]:
+        """Values sampled in ``[start, end)``."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return self._values[lo:hi]
+
+    def percentile(self, pct: float) -> float:
+        return percentile(self._values, pct)
+
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("no samples")
+        return sum(self._values) / len(self._values)
+
+
+class UtilisationProbe:
+    """Integrates the busy time of a server to report CPU utilisation."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._busy_since: Optional[float] = None
+        self._episodes: list[tuple[float, float]] = []
+
+    def busy(self) -> None:
+        """Mark the server busy from now on (idempotent)."""
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+
+    def idle(self) -> None:
+        """Mark the server idle from now on (idempotent)."""
+        if self._busy_since is not None:
+            self._episodes.append((self._busy_since, self.env.now))
+            self._busy_since = None
+
+    def utilisation_between(self, start: float, end: float) -> float:
+        """Fraction of ``[start, end)`` spent busy, in ``[0, 1]``."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        episodes: Iterable[tuple[float, float]] = self._episodes
+        if self._busy_since is not None:
+            episodes = list(self._episodes) + [(self._busy_since, self.env.now)]
+        busy = 0.0
+        for b, e in episodes:
+            busy += max(0.0, min(e, end) - max(b, start))
+        return busy / (end - start)
+
+    def interval_utilisation(
+        self, interval: float, start: float = 0.0, end: Optional[float] = None
+    ) -> list[tuple[float, float]]:
+        """Per-interval utilisation points, mirroring Counter.interval_rates."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        stop = self.env.now if end is None else end
+        points = []
+        t = start
+        while t < stop:
+            points.append((t, self.utilisation_between(t, min(t + interval, stop))))
+            t += interval
+        return points

@@ -1,0 +1,196 @@
+"""Simulated message-passing network.
+
+Models the virtualized, TCP-tunnelled network of the paper's OpenStack
+deployment:
+
+* per-link propagation latency (base + optional seeded jitter),
+* per-link serialisation bandwidth (a link transmits one message at a
+  time, so saturated links queue -- this is what caps a Paxos stream's
+  throughput),
+* FIFO per-link delivery (TCP ordering),
+* lossy links and network partitions for fault injection,
+* crashed hosts silently drop traffic, as a crashed OS would.
+
+Hosts are looked up by name.  Each host owns an unbounded inbox
+(:class:`repro.sim.queues.Store`) from which its actor processes drain
+:class:`Envelope` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .core import Environment
+from .queues import Store
+from .rng import RngRegistry
+
+__all__ = ["Envelope", "Host", "Network", "LinkSpec"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight, as seen by the receiving actor."""
+
+    src: str
+    dst: str
+    payload: Any
+    size: int          # wire size in bytes, for bandwidth accounting
+    sent_at: float
+    delivered_at: float
+
+
+@dataclass
+class LinkSpec:
+    """Transmission characteristics of a directed link."""
+
+    latency: float = 0.0005          # one-way propagation delay (seconds)
+    jitter: float = 0.0              # max uniform jitter added to latency
+    bandwidth: Optional[float] = None  # bytes/second; None = infinite
+    loss: float = 0.0                # independent drop probability
+
+
+class Host:
+    """A named node with an inbox and a crash flag."""
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self.inbox: Store = Store(env)
+        self.crashed = False
+
+    def crash(self) -> None:
+        """Crash the host: drop its queued inbox and future traffic."""
+        self.crashed = True
+        self.inbox = Store(self.env)
+
+    def recover(self) -> None:
+        """Bring the host back with an empty inbox (volatile state lost)."""
+        self.crashed = False
+        self.inbox = Store(self.env)
+
+    def __repr__(self) -> str:
+        state = "crashed" if self.crashed else "up"
+        return f"<Host {self.name} ({state})>"
+
+
+class Network:
+    """Routes messages between hosts with latency/bandwidth/loss models."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: Optional[RngRegistry] = None,
+        default_link: Optional[LinkSpec] = None,
+    ):
+        self.env = env
+        self._rng = (rng or RngRegistry(0)).stream("network")
+        self.default_link = default_link or LinkSpec()
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        # Per-directed-link state for serialisation & FIFO delivery.
+        self._link_busy_until: dict[tuple[str, str], float] = {}
+        self._link_last_arrival: dict[tuple[str, str], float] = {}
+        self._partitions: set[frozenset[str]] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_delivered = 0
+
+    # -- topology -----------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        """Register (or return the existing) host called ``name``."""
+        if name not in self._hosts:
+            self._hosts[name] = Host(self.env, name)
+        return self._hosts[name]
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise KeyError(f"unknown host {name!r}") from None
+
+    def hosts(self) -> list[str]:
+        return sorted(self._hosts)
+
+    def set_link(self, src: str, dst: str, spec: LinkSpec) -> None:
+        """Override characteristics of the directed link src -> dst."""
+        self._links[(src, dst)] = spec
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        return self._links.get((src, dst), self.default_link)
+
+    # -- fault injection ----------------------------------------------
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Block all traffic between the two host groups."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partitions.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitions
+
+    # -- sending ------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size: int = 128) -> None:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Fire-and-forget, like a datagram handed to the kernel: the call
+        returns immediately and delivery is scheduled in the future (or
+        the message is dropped).  ``size`` is the wire size in bytes.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.messages_sent += 1
+        sender = self.host(src)
+        receiver = self.host(dst)
+        if sender.crashed or receiver.crashed or self.is_partitioned(src, dst):
+            self.messages_dropped += 1
+            return
+        spec = self.link(src, dst)
+        if spec.loss > 0 and self._rng.random() < spec.loss:
+            self.messages_dropped += 1
+            return
+        now = self.env.now
+        key = (src, dst)
+        if spec.bandwidth is not None:
+            start = max(now, self._link_busy_until.get(key, 0.0))
+            tx_done = start + size / spec.bandwidth
+            self._link_busy_until[key] = tx_done
+        else:
+            tx_done = now
+        latency = spec.latency
+        if spec.jitter > 0:
+            latency += self._rng.uniform(0.0, spec.jitter)
+        arrival = tx_done + latency
+        # TCP-like FIFO per link: never deliver before a prior message.
+        arrival = max(arrival, self._link_last_arrival.get(key, 0.0))
+        self._link_last_arrival[key] = arrival
+        envelope = Envelope(
+            src=src, dst=dst, payload=payload, size=size,
+            sent_at=now, delivered_at=arrival,
+        )
+        self.env.call_later(arrival - now, self._deliver, envelope)
+
+    def broadcast(self, src: str, dsts: list[str], payload: Any, size: int = 128) -> None:
+        """Unicast ``payload`` to every destination in ``dsts``."""
+        for dst in dsts:
+            self.send(src, dst, payload, size)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        receiver = self._hosts.get(envelope.dst)
+        if receiver is None or receiver.crashed:
+            self.messages_dropped += 1
+            return
+        if self.is_partitioned(envelope.src, envelope.dst):
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        self.bytes_delivered += envelope.size
+        receiver.inbox.put_nowait(envelope)

@@ -1,0 +1,90 @@
+"""Blocking FIFO queues for simulated processes.
+
+:class:`Store` is the basic producer/consumer channel: ``put`` is
+immediate (unbounded by default, or bounded with back-pressure), ``get``
+returns an event that a consumer process yields on.  Items are delivered
+in FIFO order to getters in FIFO order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Store", "QueueFull"]
+
+
+class QueueFull(SimulationError):
+    """Raised on a non-blocking put into a full bounded store."""
+
+
+class Store:
+    """Deterministic FIFO store.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    capacity:
+        Maximum number of buffered items; ``None`` means unbounded.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (for inspection in tests)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; returns an event that fires once stored."""
+        event = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def put_nowait(self, item: Any) -> None:
+        """Insert ``item`` immediately or raise :class:`QueueFull`."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise QueueFull(f"store at capacity {self.capacity}")
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            putter, item = self._putters.popleft()
+            self._items.append(item)
+            putter.succeed()

@@ -1,0 +1,14 @@
+"""Stable storage, acceptor logs and checkpointing."""
+
+from .checkpoint import Checkpoint, CheckpointStore
+from .log import AcceptorLog, LogEntry, TrimError
+from .stable import StableStore
+
+__all__ = [
+    "AcceptorLog",
+    "Checkpoint",
+    "CheckpointStore",
+    "LogEntry",
+    "StableStore",
+    "TrimError",
+]

@@ -1,0 +1,118 @@
+"""Acceptor log with trimming.
+
+An acceptor must remember, per consensus instance, the highest ballot it
+promised/accepted and the accepted value.  Elastic Paxos additionally
+relies on the log for *recovery*: a replica subscribing to a stream
+re-learns every decided instance from the acceptors' logs, so the log
+also records decided instances and supports safe trimming once replicas
+have checkpointed (URingPaxos's trim mechanism, Benz et al. 2015).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["AcceptorLog", "LogEntry", "TrimError"]
+
+
+class TrimError(Exception):
+    """Raised when a trim would drop state that is still needed."""
+
+
+@dataclass
+class LogEntry:
+    """Per-instance acceptor state."""
+
+    vrnd: int = -1            # ballot in which a value was last accepted
+    value: Any = None         # the accepted value
+    decided: bool = False     # set once the instance is known decided
+
+
+class AcceptorLog:
+    """Instance-indexed acceptor storage with a trim horizon."""
+
+    def __init__(self):
+        self._entries: dict[int, LogEntry] = {}
+        self._trimmed_below = 0   # instances < this have been discarded
+        self._highest = -1
+
+    # -- basic access ---------------------------------------------------
+
+    def entry(self, instance: int) -> LogEntry:
+        """Return (creating if absent) the entry for ``instance``."""
+        if instance < self._trimmed_below:
+            raise TrimError(f"instance {instance} was trimmed")
+        if instance not in self._entries:
+            self._entries[instance] = LogEntry()
+            self._highest = max(self._highest, instance)
+        return self._entries[instance]
+
+    def get(self, instance: int) -> Optional[LogEntry]:
+        """Return the entry for ``instance`` or None (never creates)."""
+        return self._entries.get(instance)
+
+    def accept(self, instance: int, ballot: int, value: Any) -> None:
+        """Record acceptance of ``value`` at ``ballot`` for ``instance``."""
+        entry = self.entry(instance)
+        entry.vrnd = ballot
+        entry.value = value
+
+    def mark_decided(self, instance: int) -> None:
+        entry = self.entry(instance)
+        if entry.value is None:
+            raise ValueError(f"instance {instance} decided without a value")
+        entry.decided = True
+
+    def decided_value(self, instance: int) -> Any:
+        """Value of a decided instance; raises if unknown or undecided."""
+        if instance < self._trimmed_below:
+            raise TrimError(f"instance {instance} was trimmed")
+        entry = self._entries.get(instance)
+        if entry is None or not entry.decided:
+            raise KeyError(f"instance {instance} is not decided here")
+        return entry.value
+
+    def is_decided(self, instance: int) -> bool:
+        entry = self._entries.get(instance)
+        return entry is not None and entry.decided
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def highest_instance(self) -> int:
+        """Highest instance this log has touched (-1 if empty)."""
+        return self._highest
+
+    @property
+    def trimmed_below(self) -> int:
+        return self._trimmed_below
+
+    def decided_instances(self) -> list[int]:
+        return sorted(i for i, e in self._entries.items() if e.decided)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- trimming ---------------------------------------------------------
+
+    def trim(self, below: int) -> int:
+        """Discard all instances < ``below``; returns how many were dropped.
+
+        Every discarded instance must be decided: trimming an undecided
+        instance could lose an accepted value that a future quorum needs.
+        """
+        if below <= self._trimmed_below:
+            return 0
+        for instance in sorted(self._entries):
+            if instance >= below:
+                break
+            if not self._entries[instance].decided:
+                raise TrimError(
+                    f"cannot trim undecided instance {instance} (< {below})"
+                )
+        dropped = [i for i in self._entries if i < below]
+        for instance in dropped:
+            del self._entries[instance]
+        self._trimmed_below = below
+        return len(dropped)

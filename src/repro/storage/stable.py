@@ -1,0 +1,80 @@
+"""Stable-storage write model.
+
+Acceptors must persist promises and accepted values before answering.
+The paper's VMs had no real local disks, so its experiments ran
+in-memory ("all experiments were run in memory only"); we default to
+zero-latency writes but keep the component explicit and configurable so
+that disk-bound acceptors (the motivation for vertical scaling in
+§IV-A1) can be modelled -- a stream whose acceptors write slowly caps
+that stream's throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Environment, Event
+from ..sim.resources import Server
+
+__all__ = ["StableStore"]
+
+
+class StableStore:
+    """Models the latency/bandwidth of an acceptor's persistent device.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    write_latency:
+        Fixed seconds per synchronous write (fsync cost); 0 = memory.
+    write_bandwidth:
+        Bytes/second the device sustains; ``None`` = infinite.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        write_latency: float = 0.0,
+        write_bandwidth: Optional[float] = None,
+        name: str = "",
+    ):
+        if write_latency < 0:
+            raise ValueError("write_latency must be >= 0")
+        self.env = env
+        self.write_latency = write_latency
+        self.name = name
+        self._device = (
+            Server(env, rate=write_bandwidth, name=f"{name}:disk")
+            if write_bandwidth is not None
+            else None
+        )
+        self.writes = 0
+        self.bytes_written = 0
+
+    def write(self, nbytes: int) -> Event:
+        """Persist ``nbytes``; the returned event fires when durable."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self.writes += 1
+        self.bytes_written += nbytes
+        if self._device is not None:
+            # Queue behind earlier writes, then pay the fixed latency.
+            done = Event(self.env)
+            queued = self._device.request(cost=nbytes)
+            queued.callbacks.append(
+                lambda _e: self.env.call_later(
+                    self.write_latency, lambda: done.succeed()
+                )
+            )
+            return done
+        if self.write_latency > 0:
+            return self.env.timeout(self.write_latency)
+        event = Event(self.env)
+        event.succeed()
+        return event
+
+    @property
+    def is_instantaneous(self) -> bool:
+        """True when writes complete at the current instant."""
+        return self.write_latency == 0 and self._device is None

@@ -1,0 +1,5 @@
+"""Workload generation for experiments."""
+
+from .generators import KeyspaceWorkload, key_name
+
+__all__ = ["KeyspaceWorkload", "key_name"]

@@ -1,0 +1,86 @@
+"""Workload generators: the command mixes the paper's clients send.
+
+A workload is an object with ``next_command(rng) -> spec`` where spec
+is one of ``("put", key, value_size)``, ``("get", key)`` or
+``("range", start_key, end_key)``.  Keys are drawn from a fixed
+keyspace (``key-000042`` style) so ranges are meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional  # noqa: F401
+
+__all__ = ["KeyspaceWorkload", "key_name"]
+
+
+def key_name(index: int) -> str:
+    return f"key-{index:08d}"
+
+
+class KeyspaceWorkload:
+    """Random single-key and range commands over a bounded keyspace.
+
+    Parameters mirror the paper's setups: Fig. 4 uses 1024-byte puts on
+    random keys (``put_fraction=1.0``); a mixed read/write workload sets
+    ``put_fraction < 1``; ``range_fraction`` adds consistent getrange
+    queries spanning ``range_span`` consecutive keys.
+    """
+
+    def __init__(
+        self,
+        n_keys: int = 100_000,
+        value_size: int = 1024,
+        put_fraction: float = 1.0,
+        range_fraction: float = 0.0,
+        range_span: int = 100,
+        zipf_s: float = 0.0,
+    ):
+        if n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if not 0 <= put_fraction <= 1:
+            raise ValueError("put_fraction must be in [0, 1]")
+        if not 0 <= range_fraction <= 1:
+            raise ValueError("range_fraction must be in [0, 1]")
+        if put_fraction + range_fraction > 1 + 1e-9:
+            raise ValueError("put_fraction + range_fraction must be <= 1")
+        if zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        self.n_keys = n_keys
+        self.value_size = value_size
+        self.put_fraction = put_fraction
+        self.range_fraction = range_fraction
+        self.range_span = range_span
+        # Zipfian skew exponent: 0 = uniform; ~0.99 = typical YCSB skew.
+        self.zipf_s = zipf_s
+        self._zipf_cdf: Optional[list[float]] = None
+        if zipf_s > 0:
+            weights = [1.0 / (rank + 1) ** zipf_s for rank in range(n_keys)]
+            total = sum(weights)
+            cumulative = 0.0
+            self._zipf_cdf = []
+            for weight in weights:
+                cumulative += weight / total
+                self._zipf_cdf.append(cumulative)
+
+    def _draw_key_index(self, rng: random.Random) -> int:
+        if self._zipf_cdf is None:
+            return rng.randrange(self.n_keys)
+        roll = rng.random()
+        lo, hi = 0, len(self._zipf_cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._zipf_cdf[mid] < roll:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def next_command(self, rng: random.Random):
+        roll = rng.random()
+        if roll < self.put_fraction:
+            return ("put", key_name(self._draw_key_index(rng)), self.value_size)
+        if roll < self.put_fraction + self.range_fraction:
+            start = rng.randrange(max(1, self.n_keys - self.range_span))
+            return ("range", key_name(start), key_name(start + self.range_span))
+        return ("get", key_name(self._draw_key_index(rng)))

@@ -1,0 +1,95 @@
+"""Unit tests for the elasticity controller."""
+
+import pytest
+
+from repro.cloud import CloudCompute, ElasticityController
+from repro.sim import Counter, Environment, RngRegistry
+
+
+def make_world(capacity=100.0, watermark=0.8, max_streams=4):
+    env = Environment()
+    compute = CloudCompute(env, boot_time=5.0, boot_jitter=0.0, rng=RngRegistry(1))
+    throughput = Counter(env, "ops")
+    provisioned = []
+    controller = ElasticityController(
+        env,
+        compute,
+        throughput,
+        capacity_per_stream=capacity,
+        provision_stream=lambda index, vms: provisioned.append((env.now, index, len(vms))),
+        high_watermark=watermark,
+        sample_interval=2.0,
+        max_streams=max_streams,
+    )
+    controller.start()
+    return env, throughput, controller, provisioned
+
+
+def drive_load(env, throughput, rate, until):
+    def loader():
+        while env.now < until:
+            throughput.record(rate * 0.1)
+            yield env.timeout(0.1)
+
+    env.process(loader())
+
+
+def test_no_scale_up_below_watermark():
+    env, throughput, controller, provisioned = make_world()
+    drive_load(env, throughput, rate=50.0, until=20.0)   # 50 < 0.8*100
+    env.run(until=20.0)
+    assert provisioned == []
+    assert controller.streams == 1
+
+
+def test_scales_up_when_saturated():
+    env, throughput, controller, provisioned = make_world()
+    drive_load(env, throughput, rate=95.0, until=30.0)
+    env.run(until=30.0)
+    assert provisioned, "controller never provisioned a stream"
+    at, index, n_vms = provisioned[0]
+    assert index == 1
+    assert n_vms == 3
+    assert at >= 5.0   # waits for the VMs to boot
+    assert controller.streams == 2
+
+
+def test_respects_max_streams():
+    env, throughput, controller, provisioned = make_world(max_streams=2)
+    drive_load(env, throughput, rate=10_000.0, until=60.0)
+    env.run(until=60.0)
+    assert controller.streams == 2
+    assert len(provisioned) == 1
+
+
+def test_one_provisioning_at_a_time():
+    env, throughput, controller, provisioned = make_world(max_streams=8)
+    drive_load(env, throughput, rate=10_000.0, until=30.0)
+    env.run(until=30.0)
+    # Scale-ups are serialized: each needs a 5 s boot, samples every 2 s.
+    times = [at for at, _i, _n in provisioned]
+    assert all(b - a >= 5.0 for a, b in zip(times, times[1:]))
+
+
+def test_stop_halts_sampling():
+    env, throughput, controller, provisioned = make_world()
+    controller.stop()
+    drive_load(env, throughput, rate=10_000.0, until=20.0)
+    env.run(until=20.0)
+    assert provisioned == []
+
+
+def test_parameter_validation():
+    env = Environment()
+    compute = CloudCompute(env, rng=RngRegistry(1))
+    throughput = Counter(env)
+    with pytest.raises(ValueError):
+        ElasticityController(
+            env, compute, throughput, capacity_per_stream=0,
+            provision_stream=lambda i, v: None,
+        )
+    with pytest.raises(ValueError):
+        ElasticityController(
+            env, compute, throughput, capacity_per_stream=10,
+            provision_stream=lambda i, v: None, high_watermark=1.5,
+        )

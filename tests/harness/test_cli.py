@@ -1,0 +1,36 @@
+"""Unit tests for the CLI (parser wiring; experiments covered elsewhere)."""
+
+import pytest
+
+from repro.cli import build_parser
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+@pytest.mark.parametrize("command", ["fig3", "fig4", "fig5", "provisioning", "all"])
+def test_all_commands_parse(command):
+    args = build_parser().parse_args([command])
+    assert args.command == command
+    assert args.seed == 1
+
+
+def test_fig3_flags():
+    args = build_parser().parse_args(["fig3", "--duration", "30", "--prepare",
+                                      "--seed", "9"])
+    assert args.duration == 30.0
+    assert args.prepare is True
+    assert args.seed == 9
+
+
+def test_fig5_no_prepare_flag():
+    args = build_parser().parse_args(["fig5", "--no-prepare"])
+    assert args.no_prepare is True
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig9"])

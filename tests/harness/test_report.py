@@ -1,0 +1,49 @@
+"""Unit tests for the report rendering helpers."""
+
+from repro.harness.report import comparison_table, section, series_sparkline
+
+
+def test_section_underlines_title():
+    text = section("Hello")
+    assert "Hello" in text
+    assert "=====" in text
+
+
+def test_comparison_table_alignment_and_header():
+    table = comparison_table(
+        [
+            ("throughput", 2660.0, 2644.3),
+            ("latency p95 (ms)", 8.3, 7.1),
+            ("note", "none", "small"),
+        ]
+    )
+    lines = table.splitlines()
+    assert lines[0].startswith("metric")
+    assert "paper" in lines[0] and "measured" in lines[0]
+    assert "2,660" in table       # large floats get thousands separators
+    assert "8.30" in table        # small floats keep two decimals
+    assert "none" in table
+
+
+def test_sparkline_scales_to_max():
+    series = [(i, float(i)) for i in range(9)]
+    line = series_sparkline(series)
+    assert len(line) == 9
+    assert line[0] == " "
+    assert line[-1] == "█"
+
+
+def test_sparkline_downsamples_long_series():
+    series = [(i, 1.0) for i in range(500)]
+    line = series_sparkline(series, width=60)
+    assert len(line) == 60
+
+
+def test_sparkline_empty_and_zero():
+    assert series_sparkline([]) == "(no data)"
+    assert set(series_sparkline([(0, 0.0), (1, 0.0)])) == {" "}
+
+
+def test_sparkline_explicit_maximum():
+    series = [(0, 50.0)]
+    assert series_sparkline(series, maximum=100.0) in "▁▂▃▄▅"

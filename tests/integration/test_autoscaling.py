@@ -1,0 +1,88 @@
+"""End-to-end autoscaling: measured load -> booted VMs -> new stream."""
+
+import pytest
+
+from repro.cloud import CloudCompute, ElasticityController
+from repro.harness.broadcast import BroadcastClient, BroadcastReplica
+from repro.multicast.api import MulticastClient
+from repro.multicast.stream import StreamDeployment
+from repro.paxos.config import StreamConfig
+from repro.sim import Environment, LinkSpec, Network, RngRegistry
+
+LAM = 1000
+CAPACITY = 300.0
+
+
+def build(seed=81, boot_time=5.0):
+    env = Environment()
+    rng = RngRegistry(seed)
+    net = Network(env, rng=rng, default_link=LinkSpec(latency=0.001))
+    compute = CloudCompute(env, boot_time=boot_time, boot_jitter=0.5, rng=rng)
+    directory = {}
+
+    def deploy(name):
+        config = StreamConfig(
+            name=name,
+            acceptors=(f"{name}/a1", f"{name}/a2", f"{name}/a3"),
+            lam=LAM,
+            delta_t=0.05,
+            value_rate_limit=CAPACITY,
+        )
+        deployment = StreamDeployment(env, net, config)
+        directory[name] = deployment
+        deployment.start()
+        return deployment
+
+    for i in range(3):
+        compute.create_server(f"S1-acc-{i}", anti_affinity_group="S1")
+    deploy("S1")
+    replica = BroadcastReplica(env, net, "replica", "replicas", directory,
+                               cpu_rate=10_000)
+    replica.bootstrap(["S1"])
+    control = MulticastClient(env, net, "control", directory)
+    client = BroadcastClient(env, net, "client", directory, value_size=512,
+                             rng=rng.stream("c"))
+
+    def provision(index, vms):
+        name = f"S{index + 1}"
+        deploy(name)
+        control.subscribe_msg("replicas", name, via_stream="S1")
+        client.start_threads(name, 8)
+
+    controller = ElasticityController(
+        env, compute, replica.delivered_ops,
+        capacity_per_stream=CAPACITY,
+        provision_stream=provision,
+        high_watermark=0.8,
+        sample_interval=2.0,
+        max_streams=3,
+    )
+    controller.start()
+    return env, compute, replica, client, controller
+
+
+def test_controller_adds_stream_and_capacity_grows():
+    env, compute, replica, client, controller = build()
+    client.start_threads("S1", 8)   # saturates one stream's cap
+    env.run(until=40.0)
+    assert controller.scale_events, "never scaled"
+    first_scale_at, streams = controller.scale_events[0]
+    assert streams == 2
+    assert first_scale_at > 5.0   # had to wait out the VM boot
+    assert replica.subscriptions == ("S1", "S2")
+    before = replica.delivered_ops.rate_between(2.0, 7.0)
+    after = replica.delivered_ops.rate_between(30.0, 40.0)
+    assert after > 1.3 * before
+    # The booted acceptor VMs exist, anti-affinity respected.
+    acceptor_vms = [n for n in compute.servers if "stream-1-acceptors" in n]
+    assert len(acceptor_vms) == 3
+    hosts = {compute.servers[n].physical_host for n in acceptor_vms}
+    assert len(hosts) == 3
+
+
+def test_controller_idle_load_never_scales():
+    env, compute, replica, client, controller = build(seed=82)
+    client.start_threads("S1", 1)   # far below the watermark
+    env.run(until=30.0)
+    assert controller.scale_events == []
+    assert replica.subscriptions == ("S1",)

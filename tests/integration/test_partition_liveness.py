@@ -1,0 +1,103 @@
+"""Partial synchrony (§II): safety always, liveness after GST.
+
+Network partitions injected mid-protocol: the affected operations block
+(safety is never violated, nothing is delivered out of order) and
+complete once the partition heals -- "GST" in the paper's model.
+"""
+
+from repro.multicast import MulticastClient, MulticastReplica, StreamDeployment
+from repro.paxos import StreamConfig
+from repro.sim import Environment, LinkSpec, Network, RngRegistry
+
+
+def make_world(stream_names=("S1", "S2"), lam=500, delta_t=0.05, seed=61):
+    env = Environment()
+    net = Network(env, rng=RngRegistry(seed), default_link=LinkSpec(latency=0.001))
+    directory = {}
+    for name in stream_names:
+        config = StreamConfig(
+            name=name,
+            acceptors=(f"{name}/a1", f"{name}/a2", f"{name}/a3"),
+            lam=lam,
+            delta_t=delta_t,
+        )
+        directory[name] = StreamDeployment(env, net, config)
+        directory[name].start()
+    client = MulticastClient(env, net, "client", directory)
+    return env, net, directory, client
+
+
+def make_replica(env, net, directory, name, group, streams):
+    delivered = []
+    replica = MulticastReplica(
+        env, net, name, group, directory,
+        on_deliver=lambda v, s, p: delivered.append(v.payload),
+    )
+    replica.bootstrap(streams)
+    return replica, delivered
+
+
+def test_partitioned_stream_blocks_then_resumes():
+    env, net, directory, client = make_world(("S1",))
+    replica, delivered = make_replica(env, net, directory, "r1", "G", ["S1"])
+    for i in range(5):
+        client.multicast("S1", payload=("pre", i))
+    env.run(until=0.5)
+    assert len(delivered) == 5
+
+    # Partition the coordinator from all acceptors: nothing decides.
+    net.partition({"S1/coordinator"}, {"S1/a1", "S1/a2", "S1/a3"})
+    for i in range(5):
+        client.multicast("S1", payload=("during", i))
+    env.run(until=2.0)
+    assert len(delivered) == 5   # blocked, not lost, not reordered
+
+    net.heal()
+    env.run(until=5.0)
+    payloads = [p for p in delivered]
+    assert payloads[:5] == [("pre", i) for i in range(5)]
+    # After GST the retransmit machinery pushes the blocked values through.
+    assert set(payloads[5:]) == {("during", i) for i in range(5)}
+
+
+def test_subscription_blocked_by_partition_completes_after_heal():
+    env, net, directory, client = make_world()
+    replica, delivered = make_replica(env, net, directory, "r1", "G", ["S1"])
+    env.run(until=0.3)
+    # The replica cannot reach S2's acceptors: the subscription's scan
+    # of the new stream cannot proceed.
+    net.partition({"r1"}, {"S2/a1", "S2/a2", "S2/a3"})
+    client.subscribe_msg("G", new_stream="S2", via_stream="S1")
+    env.run(until=1.5)
+    assert replica.merger.pending_subscription == "S2"
+    assert replica.subscriptions == ("S1",)
+
+    net.heal()
+    env.run(until=6.0)
+    assert replica.merger.pending_subscription is None
+    assert replica.subscriptions == ("S1", "S2")
+
+
+def test_replica_partitioned_from_one_stream_stalls_merge_only():
+    """A replica cut off from one of its streams stops delivering (the
+    merge is strict) but catches up identically after healing."""
+    env, net, directory, client = make_world()
+    r1, d1 = make_replica(env, net, directory, "r1", "G1", ["S1", "S2"])
+    r2, d2 = make_replica(env, net, directory, "r2", "G2", ["S1", "S2"])
+
+    def load():
+        for i in range(200):
+            client.multicast("S1" if i % 2 else "S2", payload=i)
+            yield env.timeout(0.01)
+
+    env.process(load())
+    env.run(until=0.5)
+    net.partition({"r1"}, {"S2/a1", "S2/a2", "S2/a3"})
+    env.run(until=1.5)
+    # r1 is behind r2 (its S2 feed is cut)...
+    assert len(d1) < len(d2)
+    net.heal()
+    env.run(until=6.0)
+    # ...but converges to the identical sequence after the heal.
+    assert d1 == d2
+    assert len(d1) == 200

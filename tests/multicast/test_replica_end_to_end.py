@@ -1,0 +1,198 @@
+"""Integration tests: MulticastReplica + MulticastClient over the network.
+
+These exercise the full paper stack: clients propose over the network,
+streams order via ring Paxos, replicas merge with the elastic dMerge,
+and subscriptions change while traffic flows.
+"""
+
+import pytest
+
+from repro.multicast import MulticastClient, MulticastReplica, StreamDeployment
+from repro.paxos import StreamConfig
+from repro.sim import Environment, LinkSpec, Network, RngRegistry
+
+
+def make_world(stream_names, lam=500, delta_t=0.05, seed=7):
+    env = Environment()
+    net = Network(env, rng=RngRegistry(seed), default_link=LinkSpec(latency=0.001))
+    directory = {}
+    for name in stream_names:
+        config = StreamConfig(
+            name=name,
+            acceptors=(f"{name}/a1", f"{name}/a2", f"{name}/a3"),
+            lam=lam,
+            delta_t=delta_t,
+        )
+        directory[name] = StreamDeployment(env, net, config)
+        directory[name].start()
+    return env, net, directory
+
+
+def make_replica(env, net, name, group, directory, streams):
+    delivered = []
+    replica = MulticastReplica(
+        env,
+        net,
+        name,
+        group,
+        directory,
+        on_deliver=lambda v, s, p: delivered.append((v.payload, s)),
+    )
+    replica.bootstrap(streams)
+    return replica, delivered
+
+
+def test_multicast_delivers_to_subscribed_group():
+    env, net, directory = make_world(["S1"])
+    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1"])
+    client = MulticastClient(env, net, "client", directory)
+    for i in range(10):
+        client.multicast("S1", payload=i)
+    env.run(until=1.0)
+    assert [p for p, _s in delivered] == list(range(10))
+
+
+def test_two_replicas_same_group_agree():
+    env, net, directory = make_world(["S1", "S2"])
+    r1, d1 = make_replica(env, net, "r1", "G1", directory, ["S1", "S2"])
+    r2, d2 = make_replica(env, net, "r2", "G1", directory, ["S1", "S2"])
+    client = MulticastClient(env, net, "client", directory)
+
+    def load():
+        for i in range(30):
+            client.multicast("S1" if i % 2 else "S2", payload=i)
+            yield env.timeout(0.002)
+
+    env.process(load())
+    env.run(until=2.0)
+    assert len(d1) == 30
+    assert d1 == d2
+
+
+def test_dynamic_subscribe_while_under_load():
+    env, net, directory = make_world(["S1", "S2"])
+    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1"])
+    client = MulticastClient(env, net, "client", directory)
+
+    sent_s2 = []
+
+    def load():
+        for i in range(100):
+            client.multicast("S1", payload=("s1", i))
+            yield env.timeout(0.005)
+
+    def subscriber():
+        yield env.timeout(0.2)
+        client.subscribe_msg("G1", new_stream="S2", via_stream="S1")
+        yield env.timeout(0.2)
+        for i in range(20):
+            client.multicast("S2", payload=("s2", i))
+            sent_s2.append(i)
+            yield env.timeout(0.005)
+
+    env.process(load())
+    env.process(subscriber())
+    env.run(until=2.0)
+    assert replica.subscriptions == ("S1", "S2")
+    s1_payloads = [p for p, s in delivered if s == "S1"]
+    s2_payloads = [p for p, s in delivered if s == "S2"]
+    assert len(s1_payloads) == 100          # nothing from S1 is lost
+    assert [i for _tag, i in s2_payloads] == sent_s2  # post-merge-point S2 all arrive
+
+
+def test_dynamic_subscribe_two_replicas_identical_order():
+    env, net, directory = make_world(["S1", "S2"])
+    r1, d1 = make_replica(env, net, "r1", "G1", directory, ["S1"])
+    r2, d2 = make_replica(env, net, "r2", "G1", directory, ["S1"])
+    client = MulticastClient(env, net, "client", directory)
+
+    def load():
+        for i in range(150):
+            client.multicast("S1", payload=("s1", i))
+            client.multicast("S2", payload=("s2", i))
+            yield env.timeout(0.004)
+
+    def subscriber():
+        yield env.timeout(0.25)
+        client.subscribe_msg("G1", new_stream="S2", via_stream="S1")
+
+    env.process(load())
+    env.process(subscriber())
+    env.run(until=3.0)
+    assert r1.subscriptions == ("S1", "S2")
+    assert r2.subscriptions == ("S1", "S2")
+    assert d1 == d2
+    assert len(d1) > 150  # all of S1 plus the post-merge-point part of S2
+
+
+def test_unsubscribe_stops_delivery_from_stream():
+    env, net, directory = make_world(["S1", "S2"])
+    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1", "S2"])
+    client = MulticastClient(env, net, "client", directory)
+
+    def scenario():
+        for i in range(10):
+            client.multicast("S2", payload=("pre", i))
+            yield env.timeout(0.005)
+        yield env.timeout(0.2)
+        client.unsubscribe_msg("G1", "S2")
+        yield env.timeout(0.2)
+        for i in range(10):
+            client.multicast("S2", payload=("post", i))
+            yield env.timeout(0.005)
+
+    env.process(scenario())
+    env.run(until=2.0)
+    assert replica.subscriptions == ("S1",)
+    tags = [p[0] for p, s in delivered if s == "S2"]
+    assert tags == ["pre"] * 10
+    # The learner task for S2 was stopped and deregistered.
+    assert "S2" not in replica.learners
+
+
+def test_prepare_msg_enables_stall_free_subscription():
+    env, net, directory = make_world(["S1", "S2"])
+    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1"])
+    client = MulticastClient(env, net, "client", directory)
+
+    def scenario():
+        yield env.timeout(0.5)   # S2 accumulates history (skips)
+        client.prepare_msg("G1", new_stream="S2", via_stream="S1")
+        yield env.timeout(0.3)   # background recovery completes
+        client.subscribe_msg("G1", new_stream="S2", via_stream="S1")
+
+    env.process(scenario())
+
+    def load():
+        for i in range(300):
+            client.multicast("S1", payload=i)
+            yield env.timeout(0.004)
+
+    env.process(load())
+    env.run(until=2.0)
+    assert replica.subscriptions == ("S1", "S2")
+    assert len([p for p, s in delivered if s == "S1"]) == 300
+
+
+def test_reconfiguration_stream_replacement():
+    """Fig. 5's scheme: subscribe to S2, immediately unsubscribe S1."""
+    env, net, directory = make_world(["S1", "S2"])
+    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1"])
+    client = MulticastClient(env, net, "client", directory)
+
+    def scenario():
+        yield env.timeout(0.3)
+        client.prepare_msg("G1", new_stream="S2", via_stream="S1")
+        yield env.timeout(0.2)
+        client.subscribe_msg("G1", new_stream="S2", via_stream="S1")
+        client.unsubscribe_msg("G1", "S1", via_stream="S1")
+        yield env.timeout(0.3)
+        for i in range(10):
+            client.multicast("S2", payload=("new", i))
+            yield env.timeout(0.005)
+
+    env.process(scenario())
+    env.run(until=2.0)
+    assert replica.subscriptions == ("S2",)
+    new_payloads = [p for p, s in delivered if s == "S2"]
+    assert [i for _tag, i in new_payloads] == list(range(10))

@@ -1,0 +1,56 @@
+"""Unit tests for message wire-size accounting."""
+
+from dataclasses import dataclass
+
+from repro.net.messages import Message, WIRE_HEADER_BYTES
+from repro.paxos.messages import Decision, Phase2a, Propose
+from repro.paxos.types import AppValue, Batch, SkipToken
+
+
+@dataclass(frozen=True)
+class Sample(Message):
+    number: int
+    text: str
+    blob: bytes
+
+
+def test_generic_field_size_estimate():
+    msg = Sample(number=1, text="abcd", blob=b"12345678")
+    assert msg.wire_size() == WIRE_HEADER_BYTES + 8 + 4 + 8
+
+
+def test_empty_message_is_header_only():
+    @dataclass(frozen=True)
+    class Empty(Message):
+        pass
+
+    assert Empty().wire_size() == WIRE_HEADER_BYTES
+
+
+def test_propose_size_dominated_by_value_payload():
+    value = AppValue(payload=None, size=32 * 1024)
+    msg = Propose(stream="S1", token=value)
+    assert msg.wire_size() == WIRE_HEADER_BYTES + 32 * 1024
+
+
+def test_phase2a_accounts_batch_payload():
+    batch = Batch(tokens=(AppValue(payload=None, size=1000),))
+    msg = Phase2a(stream="S1", ballot=0, instance=0, batch=batch)
+    assert msg.wire_size() > 1000
+
+
+def test_skip_decision_is_small():
+    batch = Batch(tokens=(SkipToken(count=100_000),))
+    msg = Decision(stream="S1", instance=0, batch=batch)
+    # A skip covering 100k positions is still a tiny message.
+    assert msg.wire_size() < 200
+
+
+def test_collection_fields_sum_elements():
+    @dataclass(frozen=True)
+    class WithList(Message):
+        items: tuple
+
+    empty = WithList(items=())
+    three = WithList(items=(1, 2, 3))
+    assert three.wire_size() == empty.wire_size() + 3 * 8

@@ -1,0 +1,164 @@
+"""Unit tests for the sans-io acceptor state machine."""
+
+import pytest
+
+from repro.paxos.acceptor import AcceptorCore
+from repro.paxos.messages import (
+    Decision,
+    Phase1a,
+    Phase2a,
+    RecoverRequest,
+    RingAccept,
+    Trim,
+)
+from repro.paxos.types import AppValue, Batch
+
+
+def batch(tag):
+    return Batch(tokens=(AppValue(payload=tag),))
+
+
+def make_acceptor(name="a1", ring=("a1",)):
+    return AcceptorCore(name, "S1", ring=ring)
+
+
+def test_phase1a_promise_and_report_accepted():
+    acceptor = make_acceptor()
+    value = batch("x")
+    acceptor.log.accept(3, 5, value)
+    effects = acceptor.on_phase1a(Phase1a(stream="S1", ballot=7, from_instance=0), "c")
+    assert len(effects) == 1
+    dst, reply = effects[0]
+    assert dst == "c"
+    assert reply.ballot == 7
+    assert reply.accepted == ((3, 5, value),)
+    assert acceptor.promised == 7
+
+
+def test_phase1a_stale_ballot_ignored():
+    acceptor = make_acceptor()
+    acceptor.on_phase1a(Phase1a(stream="S1", ballot=7, from_instance=0), "c")
+    effects = acceptor.on_phase1a(Phase1a(stream="S1", ballot=5, from_instance=0), "c2")
+    assert effects == []
+    assert acceptor.promised == 7
+
+
+def test_phase2a_accept_and_reply():
+    acceptor = make_acceptor()
+    effects = acceptor.on_phase2a(
+        Phase2a(stream="S1", ballot=4, instance=0, batch=batch("v")), "c"
+    )
+    assert len(effects) == 1
+    _dst, reply = effects[0]
+    assert reply.instance == 0
+    assert reply.acceptor == "a1"
+    assert acceptor.log.get(0).vrnd == 4
+
+
+def test_phase2a_below_promise_rejected():
+    acceptor = make_acceptor()
+    acceptor.on_phase1a(Phase1a(stream="S1", ballot=9, from_instance=0), "c")
+    effects = acceptor.on_phase2a(
+        Phase2a(stream="S1", ballot=4, instance=0, batch=batch("v")), "c"
+    )
+    assert effects == []
+    assert acceptor.log.get(0) is None
+
+
+def test_phase2a_at_promise_level_accepted():
+    acceptor = make_acceptor()
+    acceptor.on_phase1a(Phase1a(stream="S1", ballot=9, from_instance=0), "c")
+    effects = acceptor.on_phase2a(
+        Phase2a(stream="S1", ballot=9, instance=0, batch=batch("v")), "c"
+    )
+    assert len(effects) == 1
+
+
+def test_ring_accept_middle_forwards_to_next():
+    ring = ("a1", "a2", "a3")
+    acceptor = AcceptorCore("a2", "S1", ring=ring)
+    msg = RingAccept(stream="S1", ballot=0, instance=0, batch=batch("v"), accepted_by=1)
+    effects = acceptor.on_ring_accept(msg, "a1")
+    assert len(effects) == 1
+    dst, forwarded = effects[0]
+    assert dst == "a3"
+    assert forwarded.accepted_by == 2
+
+
+def test_ring_accept_last_decides():
+    ring = ("a1", "a2", "a3")
+    acceptor = AcceptorCore("a3", "S1", ring=ring)
+    msg = RingAccept(stream="S1", ballot=0, instance=0, batch=batch("v"), accepted_by=2)
+    effects = acceptor.on_ring_accept(msg, "a2")
+    assert effects[0][0] == "__decided__"
+    assert acceptor.log.is_decided(0)
+
+
+def test_decision_marks_decided_for_recovery():
+    acceptor = make_acceptor()
+    value = batch("v")
+    acceptor.on_decision(Decision(stream="S1", instance=2, batch=value), "c")
+    assert acceptor.log.is_decided(2)
+    assert acceptor.log.decided_value(2) == value
+
+
+def test_recover_request_returns_decided_page():
+    acceptor = make_acceptor()
+    for i in range(5):
+        acceptor.on_decision(Decision(stream="S1", instance=i, batch=batch(i)), "c")
+    effects = acceptor.on_recover_request(
+        RecoverRequest(stream="S1", from_instance=0), "learner"
+    )
+    _dst, reply = effects[0]
+    assert [i for i, _b in reply.decided] == [0, 1, 2, 3, 4]
+    assert reply.highest_decided == 4
+
+
+def test_recover_request_respects_range():
+    acceptor = make_acceptor()
+    for i in range(5):
+        acceptor.on_decision(Decision(stream="S1", instance=i, batch=batch(i)), "c")
+    effects = acceptor.on_recover_request(
+        RecoverRequest(stream="S1", from_instance=1, to_instance=3), "learner"
+    )
+    _dst, reply = effects[0]
+    assert [i for i, _b in reply.decided] == [1, 2]
+
+
+def test_recovery_is_paginated():
+    from repro.paxos.acceptor import RECOVERY_PAGE_INSTANCES
+
+    acceptor = make_acceptor()
+    n = RECOVERY_PAGE_INSTANCES + 50
+    for i in range(n):
+        acceptor.on_decision(Decision(stream="S1", instance=i, batch=batch(i)), "c")
+    effects = acceptor.on_recover_request(
+        RecoverRequest(stream="S1", from_instance=0), "learner"
+    )
+    _dst, reply = effects[0]
+    assert len(reply.decided) == RECOVERY_PAGE_INSTANCES
+    assert reply.highest_decided == n - 1
+
+
+def test_trim_drops_decided_prefix():
+    acceptor = make_acceptor()
+    for i in range(5):
+        acceptor.on_decision(Decision(stream="S1", instance=i, batch=batch(i)), "c")
+    acceptor.on_trim(Trim(stream="S1", below=3), "c")
+    assert acceptor.log.trimmed_below == 3
+    effects = acceptor.on_recover_request(
+        RecoverRequest(stream="S1", from_instance=0), "learner"
+    )
+    _dst, reply = effects[0]
+    assert [i for i, _b in reply.decided] == [3, 4]
+
+
+def test_trim_stops_at_undecided_instance():
+    acceptor = make_acceptor()
+    acceptor.on_decision(Decision(stream="S1", instance=0, batch=batch(0)), "c")
+    acceptor.log.accept(1, 0, batch("pending"))  # accepted but not decided
+    acceptor.on_decision(Decision(stream="S1", instance=2, batch=batch(2)), "c")
+    acceptor.on_trim(Trim(stream="S1", below=3), "c")
+    # Only the decided prefix [0] may go; instance 1 must survive.
+    assert acceptor.log.trimmed_below == 1
+    assert acceptor.log.get(1) is not None

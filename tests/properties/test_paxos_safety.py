@@ -1,0 +1,147 @@
+"""Property-based safety test for single-decree Paxos.
+
+Two proposers compete for one instance through three acceptors while
+hypothesis drives an adversarial network: messages may be delivered in
+any order, duplicated, or dropped.  Safety: once a quorum has accepted
+a value at some ballot such that it can be decided, no different value
+is ever decided -- and all decided values across proposers agree.
+"""
+
+from dataclasses import dataclass, field
+
+from hypothesis import given, settings, strategies as st
+
+from repro.paxos.acceptor import AcceptorCore
+from repro.paxos.ballot import ballot_for, next_ballot, quorum_size
+from repro.paxos.messages import Phase1a, Phase1b, Phase2a, Phase2b
+from repro.paxos.types import AppValue, Batch
+
+INSTANCE = 0
+N_ACCEPTORS = 3
+
+
+@dataclass
+class MiniProposer:
+    """A correct (but impatient) Paxos proposer for one instance."""
+
+    index: int
+    value: Batch
+    ballot: int = -1
+    promises: dict = field(default_factory=dict)
+    acks: set = field(default_factory=set)
+    proposed: Batch = None
+    decided: Batch = None
+
+    def start_ballot(self):
+        if self.ballot < 0:
+            self.ballot = ballot_for(self.index, 0, 2)
+        else:
+            self.ballot = next_ballot(self.ballot, self.index, 2)
+        self.promises = {}
+        self.acks = set()
+        self.proposed = None
+        return Phase1a(stream="S", ballot=self.ballot, from_instance=0)
+
+    def on_phase1b(self, msg: Phase1b):
+        if msg.ballot != self.ballot or self.proposed is not None:
+            return None
+        self.promises[msg.acceptor] = msg
+        if len(self.promises) < quorum_size(N_ACCEPTORS):
+            return None
+        best_vrnd, best_value = -1, self.value
+        for promise in self.promises.values():
+            for instance, vrnd, batch in promise.accepted:
+                if instance == INSTANCE and vrnd > best_vrnd:
+                    best_vrnd, best_value = vrnd, batch
+        self.proposed = best_value
+        return Phase2a(
+            stream="S", ballot=self.ballot, instance=INSTANCE, batch=best_value
+        )
+
+    def on_phase2b(self, msg: Phase2b):
+        if msg.ballot != self.ballot or self.proposed is None:
+            return
+        self.acks.add(msg.acceptor)
+        if len(self.acks) >= quorum_size(N_ACCEPTORS):
+            self.decided = self.proposed
+
+
+@st.composite
+def adversarial_schedule(draw):
+    """A list of abstract scheduler actions."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("start"), st.integers(0, 1)),
+                st.tuples(st.just("deliver"), st.integers(0, 200)),
+                st.tuples(st.just("duplicate"), st.integers(0, 200)),
+                st.tuples(st.just("drop"), st.integers(0, 200)),
+            ),
+            min_size=5,
+            max_size=80,
+        )
+    )
+
+
+@given(schedule=adversarial_schedule())
+@settings(max_examples=300, deadline=None)
+def test_single_instance_agreement(schedule):
+    acceptors = {
+        f"a{i}": AcceptorCore(f"a{i}", "S", ring=()) for i in range(N_ACCEPTORS)
+    }
+    value_a = Batch(tokens=(AppValue(payload="A"),))
+    value_b = Batch(tokens=(AppValue(payload="B"),))
+    proposers = [MiniProposer(0, value_a), MiniProposer(1, value_b)]
+
+    # In-flight messages: (destination_kind, destination, message).
+    in_flight = []
+
+    def route_to_acceptors(message, proposer_index):
+        for name in acceptors:
+            in_flight.append(("acceptor", name, message, proposer_index))
+
+    for action, arg in schedule:
+        if action == "start":
+            route_to_acceptors(proposers[arg].start_ballot(), arg)
+        elif not in_flight:
+            continue
+        elif action == "duplicate":
+            in_flight.append(in_flight[arg % len(in_flight)])
+        elif action == "drop":
+            in_flight.pop(arg % len(in_flight))
+        elif action == "deliver":
+            kind, dst, message, pidx = in_flight.pop(arg % len(in_flight))
+            if kind == "acceptor":
+                acceptor = acceptors[dst]
+                if isinstance(message, Phase1a):
+                    effects = acceptor.on_phase1a(message, f"p{pidx}")
+                else:
+                    effects = acceptor.on_phase2a(message, f"p{pidx}")
+                for _dst, reply in effects:
+                    in_flight.append(("proposer", pidx, reply, pidx))
+            else:
+                proposer = proposers[dst]
+                if isinstance(message, Phase1b):
+                    out = proposer.on_phase1b(message)
+                    if out is not None:
+                        route_to_acceptors(out, dst)
+                else:
+                    proposer.on_phase2b(message)
+
+    decided = [p.decided for p in proposers if p.decided is not None]
+    payloads = {batch.tokens[0].payload for batch in decided}
+    assert len(payloads) <= 1, f"conflicting decisions: {payloads}"
+
+    # Additionally: a decided value must be anchored at a quorum --
+    # majority of acceptors accepted it at some ballot.
+    for batch in decided:
+        holders = [
+            name
+            for name, acceptor in acceptors.items()
+            if acceptor.log.get(INSTANCE) is not None
+            and acceptor.log.get(INSTANCE).value == batch
+        ]
+        # The deciding quorum may have been partially overwritten by a
+        # higher ballot, but only with the same value (agreement above);
+        # at least one acceptor still holds it.
+        assert holders, "decided value vanished from all acceptors"

@@ -1,0 +1,236 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(1.5)
+        log.append(env.now)
+        yield env.timeout(0.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [1.5, 2.0]
+
+
+def test_same_instant_events_fire_in_fifo_order():
+    env = Environment()
+    log = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        log.append(name)
+
+    for name in ("a", "b", "c"):
+        env.process(proc(name))
+    env.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(0.3)
+
+    env.process(proc())
+    env.run(until=1.0)
+    assert env.now == 1.0
+
+
+def test_run_until_in_past_raises():
+    env = Environment()
+    env.run(until=1.0)
+    with pytest.raises(ValueError):
+        env.run(until=0.5)
+
+
+def test_process_return_value_propagates_to_waiter():
+    env = Environment()
+    results = []
+
+    def child():
+        yield env.timeout(1)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        results.append(value)
+
+    env.process(parent())
+    env.run()
+    assert results == [42]
+
+
+def test_exception_in_child_propagates_to_parent():
+    env = Environment()
+    caught = []
+
+    def child():
+        yield env.timeout(1)
+        raise RuntimeError("boom")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(parent())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_uncaught_exception_crashes_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(proc())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(10)
+        except Interrupt as exc:
+            log.append((env.now, exc.cause))
+
+    def attacker(proc):
+        yield env.timeout(2)
+        proc.interrupt("crash")
+
+    p = env.process(victim())
+    env.process(attacker(p))
+    env.run()
+    assert log == [(2, "crash")]
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(1)
+
+    p = env.process(victim())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_manual_event_succeed():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(3)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(3, "open")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("v")
+    log = []
+
+    def waiter():
+        yield env.timeout(1)  # gate is processed by then
+        value = yield gate
+        log.append((env.now, value))
+
+    env.process(waiter())
+    env.run()
+    assert log == [(1, "v")]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    log = []
+
+    def proc():
+        t1 = env.timeout(5, value="slow")
+        t2 = env.timeout(2, value="fast")
+        result = yield AnyOf(env, [t1, t2])
+        log.append((env.now, sorted(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert log == [(2, ["fast"])]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    log = []
+
+    def proc():
+        t1 = env.timeout(5, value="slow")
+        t2 = env.timeout(2, value="fast")
+        result = yield AllOf(env, [t1, t2])
+        log.append((env.now, sorted(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert log == [(5, ["fast", "slow"])]
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def proc():
+        yield 42
+
+    env.process(proc())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4)
+    assert env.peek() == 4

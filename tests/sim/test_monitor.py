@@ -1,0 +1,112 @@
+"""Unit tests for measurement probes."""
+
+import pytest
+
+from repro.sim import Counter, Environment, Series, UtilisationProbe, percentile
+
+
+def test_percentile_nearest_rank():
+    samples = list(range(1, 101))
+    assert percentile(samples, 95) == 95
+    assert percentile(samples, 100) == 100
+    assert percentile(samples, 1) == 1
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 95)
+
+
+def test_percentile_out_of_range_raises():
+    with pytest.raises(ValueError):
+        percentile([1], 0)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_counter_interval_rates():
+    env = Environment()
+    counter = Counter(env)
+
+    def proc():
+        for _ in range(10):
+            counter.record()
+            yield env.timeout(0.1)
+        yield env.timeout(0.5)
+        counter.record(weight=5)  # lands at t=1.5, inside [1.0, 2.0)
+
+    env.process(proc())
+    env.run()
+    rates = counter.interval_rates(1.0, start=0.0, end=2.0)
+    assert rates[0] == (0.0, pytest.approx(10.0))
+    assert rates[1] == (1.0, pytest.approx(5.0))
+    assert counter.total == 15
+
+
+def test_counter_rate_between_validates_bounds():
+    env = Environment()
+    counter = Counter(env)
+    with pytest.raises(ValueError):
+        counter.rate_between(1.0, 1.0)
+
+
+def test_series_between_and_percentile():
+    env = Environment()
+    series = Series(env)
+
+    def proc():
+        for v in (1.0, 2.0, 3.0, 4.0):
+            series.record(v)
+            yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    assert series.between(1.0, 3.0) == [2.0, 3.0]
+    assert series.percentile(50) == 2.0
+    assert series.mean() == pytest.approx(2.5)
+    assert len(series) == 4
+
+
+def test_series_empty_mean_raises():
+    env = Environment()
+    series = Series(env)
+    with pytest.raises(ValueError):
+        series.mean()
+
+
+def test_utilisation_probe_integrates_busy_time():
+    env = Environment()
+    probe = UtilisationProbe(env)
+
+    def proc():
+        probe.busy()
+        yield env.timeout(2.0)
+        probe.idle()
+        yield env.timeout(2.0)
+
+    env.process(proc())
+    env.run()
+    assert probe.utilisation_between(0.0, 4.0) == pytest.approx(0.5)
+
+
+def test_utilisation_probe_open_episode_counts():
+    env = Environment()
+    probe = UtilisationProbe(env)
+    probe.busy()
+    env.run(until=2.0)
+    assert probe.utilisation_between(0.0, 2.0) == pytest.approx(1.0)
+
+
+def test_interval_utilisation_points():
+    env = Environment()
+    probe = UtilisationProbe(env)
+
+    def proc():
+        probe.busy()
+        yield env.timeout(1.0)
+        probe.idle()
+
+    env.process(proc())
+    env.run(until=2.0)
+    points = probe.interval_utilisation(1.0, start=0.0, end=2.0)
+    assert points == [(0.0, pytest.approx(1.0)), (1.0, pytest.approx(0.0))]

@@ -1,0 +1,125 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.sim import Environment, LinkSpec, Network, RngRegistry
+
+
+def make_net(**kwargs):
+    env = Environment()
+    net = Network(env, rng=RngRegistry(7), **kwargs)
+    for name in ("a", "b", "c"):
+        net.add_host(name)
+    return env, net
+
+
+def test_message_arrives_after_latency():
+    env, net = make_net(default_link=LinkSpec(latency=0.01))
+    net.send("a", "b", "hello", size=10)
+    env.run()
+    inbox = net.host("b").inbox
+    assert len(inbox) == 1
+    envelope = inbox.items[0]
+    assert envelope.payload == "hello"
+    assert envelope.delivered_at == pytest.approx(0.01)
+
+
+def test_bandwidth_serialises_messages():
+    env, net = make_net(default_link=LinkSpec(latency=0.0, bandwidth=100.0))
+    net.send("a", "b", "m1", size=100)  # 1 second of tx time
+    net.send("a", "b", "m2", size=100)  # queued behind m1
+    env.run()
+    arrivals = [e.delivered_at for e in net.host("b").inbox.items]
+    assert arrivals == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_per_link_fifo_even_with_jitter():
+    env, net = make_net(default_link=LinkSpec(latency=0.001, jitter=0.05))
+    for i in range(50):
+        net.send("a", "b", i, size=1)
+    env.run()
+    payloads = [e.payload for e in net.host("b").inbox.items]
+    assert payloads == list(range(50))
+
+
+def test_crashed_receiver_drops_messages():
+    env, net = make_net()
+    net.host("b").crash()
+    net.send("a", "b", "lost")
+    env.run()
+    assert len(net.host("b").inbox) == 0
+    assert net.messages_dropped == 1
+
+
+def test_recovered_host_receives_again():
+    env, net = make_net()
+    net.host("b").crash()
+    net.send("a", "b", "lost")
+    env.run()
+    net.host("b").recover()
+    net.send("a", "b", "found")
+    env.run()
+    assert [e.payload for e in net.host("b").inbox.items] == ["found"]
+
+
+def test_partition_blocks_both_directions():
+    env, net = make_net()
+    net.partition({"a"}, {"b"})
+    net.send("a", "b", "x")
+    net.send("b", "a", "y")
+    env.run()
+    assert len(net.host("a").inbox) == 0
+    assert len(net.host("b").inbox) == 0
+    assert net.messages_dropped == 2
+
+
+def test_heal_restores_connectivity():
+    env, net = make_net()
+    net.partition({"a"}, {"b"})
+    net.heal()
+    net.send("a", "b", "x")
+    env.run()
+    assert len(net.host("b").inbox) == 1
+
+
+def test_lossy_link_drops_some_messages():
+    env, net = make_net()
+    net.set_link("a", "b", LinkSpec(latency=0.001, loss=0.5))
+    for i in range(200):
+        net.send("a", "b", i)
+    env.run()
+    delivered = len(net.host("b").inbox)
+    assert 0 < delivered < 200
+
+
+def test_broadcast_reaches_all_destinations():
+    env, net = make_net()
+    net.broadcast("a", ["b", "c"], "hi")
+    env.run()
+    assert len(net.host("b").inbox) == 1
+    assert len(net.host("c").inbox) == 1
+
+
+def test_unknown_host_raises():
+    env, net = make_net()
+    with pytest.raises(KeyError):
+        net.send("a", "zz", "x")
+
+
+def test_crash_clears_pending_inbox():
+    env, net = make_net()
+    net.send("a", "b", "x")
+    env.run()
+    assert len(net.host("b").inbox) == 1
+    net.host("b").crash()
+    assert len(net.host("b").inbox) == 0
+
+
+def test_message_counters():
+    env, net = make_net()
+    net.send("a", "b", "x", size=100)
+    net.send("a", "c", "y", size=50)
+    env.run()
+    assert net.messages_sent == 2
+    assert net.messages_delivered == 2
+    assert net.bytes_delivered == 150

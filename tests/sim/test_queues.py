@@ -1,0 +1,127 @@
+"""Unit tests for the FIFO store."""
+
+import pytest
+
+from repro.sim import Environment, QueueFull, Store
+
+
+def test_put_then_get_preserves_fifo():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            out.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert out == [0, 1, 2]
+
+
+def test_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer():
+        item = yield store.get()
+        log.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [(5, "x")]
+
+
+def test_multiple_getters_served_in_fifo_order():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def consumer(name):
+        item = yield store.get()
+        out.append((name, item))
+
+    def producer():
+        yield env.timeout(1)
+        yield store.put("first")
+        yield store.put("second")
+
+    env.process(consumer("a"))
+    env.process(consumer("b"))
+    env.process(producer())
+    env.run()
+    assert out == [("a", "first"), ("b", "second")]
+
+
+def test_bounded_store_blocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put(1)
+        log.append(("queued-1", env.now))
+        yield store.put(2)
+        log.append(("queued-2", env.now))
+
+    def consumer():
+        yield env.timeout(3)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("queued-1", 0) in log
+    assert ("queued-2", 3) in log
+
+
+def test_put_nowait_raises_when_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+    store.put_nowait("a")
+    with pytest.raises(QueueFull):
+        store.put_nowait("b")
+
+
+def test_put_nowait_hands_directly_to_waiting_getter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    out = []
+
+    def consumer():
+        item = yield store.get()
+        out.append(item)
+
+    env.process(consumer())
+    env.run()
+    store.put_nowait("direct")
+    env.run()
+    assert out == ["direct"]
+
+
+def test_invalid_capacity_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_len_and_items_snapshot():
+    env = Environment()
+    store = Store(env)
+    store.put_nowait(1)
+    store.put_nowait(2)
+    assert len(store) == 2
+    assert store.items == (1, 2)

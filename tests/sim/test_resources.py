@@ -1,0 +1,76 @@
+"""Unit tests for the Server capacity model."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.resources import Server
+
+
+def test_single_request_takes_cost_over_rate():
+    env = Environment()
+    server = Server(env, rate=10.0)
+    done = []
+
+    def proc():
+        yield server.request(cost=1.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [pytest.approx(0.1)]
+
+
+def test_requests_queue_fifo():
+    env = Environment()
+    server = Server(env, rate=1.0)
+    done = []
+
+    def proc(name):
+        yield server.request(cost=1.0)
+        done.append((name, env.now))
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+
+def test_utilisation_reflects_busy_fraction():
+    env = Environment()
+    server = Server(env, rate=1.0)
+
+    def proc():
+        yield server.request(cost=2.0)
+
+    env.process(proc())
+    env.run(until=4.0)
+    assert server.utilisation_between(0.0, 4.0) == pytest.approx(0.5)
+
+
+def test_backlog_seconds():
+    env = Environment()
+    server = Server(env, rate=1.0)
+    server.request(cost=3.0)
+    assert server.backlog_seconds == pytest.approx(3.0)
+
+
+def test_invalid_rate_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Server(env, rate=0)
+
+
+def test_negative_cost_rejected():
+    env = Environment()
+    server = Server(env, rate=1.0)
+    with pytest.raises(ValueError):
+        server.request(cost=-1)
+
+
+def test_completed_counter():
+    env = Environment()
+    server = Server(env, rate=100.0)
+    for _ in range(5):
+        server.request()
+    env.run()
+    assert server.completed == 5
