@@ -7,9 +7,13 @@ Usage::
     python -m repro fig5 [--duration 70] [--no-prepare]
     python -m repro provisioning
     python -m repro all
+    python -m repro faults list
+    python -m repro faults run <scenario> [--seed 1] [--seeds N]
 
-Each command runs the corresponding experiment on the simulator and
-prints the paper-vs-measured comparison plus sparkline series.
+Each experiment command runs on the simulator and prints the
+paper-vs-measured comparison plus sparkline series; ``faults`` runs a
+named fault-injection scenario (see ``docs/FAULTS.md``) under the
+always-on safety invariant checkers and prints the invariant report.
 """
 
 from __future__ import annotations
@@ -113,6 +117,36 @@ def _provisioning(args) -> None:
     )
 
 
+def _faults(args) -> int:
+    from .faults import SCENARIOS, get_scenario, run_scenario
+
+    if args.faults_command == "list":
+        print(section("Fault-injection scenarios"))
+        for name in sorted(SCENARIOS):
+            print(f"  {name:<28} {SCENARIOS[name]().description}")
+        return 0
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        print(f"error: unknown scenario {args.scenario!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        print(section(f"faults: {spec.name} (seed {seed})"))
+        try:
+            result = run_scenario(spec, seed=seed)
+        except AssertionError as violation:
+            failures += 1
+            print(f"INVARIANT VIOLATION: {violation}")
+            print(f"reproduce with: python -m repro faults run "
+                  f"{spec.name} --seed {seed}")
+            continue
+        print(result.report())
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -136,7 +170,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("provisioning", help="~60 s stream provisioning (§VI)")
     sub.add_parser("all", help="run every experiment")
 
+    faults = sub.add_parser(
+        "faults", help="fault injection under invariant checking"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_sub.add_parser("list", help="list the named scenarios")
+    faults_run = faults_sub.add_parser(
+        "run", help="run a scenario and print the invariant report"
+    )
+    faults_run.add_argument("scenario", help="scenario name (see `faults list`)")
+    faults_run.add_argument("--seed", type=int, default=1)
+    faults_run.add_argument(
+        "--seeds", type=int, default=1,
+        help="run this many consecutive seeds starting at --seed",
+    )
+
     for name, p in sub.choices.items():
+        if name == "faults":
+            continue
         p.add_argument("--seed", type=int, default=1)
         if name in ("provisioning", "all"):
             p.set_defaults(duration=None)
@@ -153,6 +204,8 @@ def main(argv=None) -> int:
         _fig5(args)
     elif args.command == "provisioning":
         _provisioning(args)
+    elif args.command == "faults":
+        return _faults(args)
     elif args.command == "all":
         ns = argparse.Namespace(seed=args.seed, duration=60.0, prepare=False)
         _fig3(ns)

@@ -1,0 +1,340 @@
+"""The fault-schedule DSL: declarative, seeded, reproducible.
+
+A :class:`Schedule` is a named, immutable list of fault actions pinned
+to absolute virtual times.  Point actions (:class:`CrashAt`,
+:class:`RecoverAt`) fire once; window actions
+(:class:`PartitionWindow`, :class:`LossWindow`, :class:`DelaySpike`,
+:class:`DuplicateWindow`, :class:`ReorderWindow`) install a fault at
+``start`` and lift it at ``end``.  Schedules carry no behaviour of
+their own -- :class:`repro.faults.orchestrator.FaultOrchestrator`
+compiles them onto the event calendar -- so the same schedule object
+can be rendered, compared and re-run bit-identically.
+
+:class:`RandomChaos` derives a schedule from a seed: identical seed and
+topology yield the identical schedule, which (on the deterministic
+simulator) yields the identical run.  Failing seeds reproduce exactly;
+see ``docs/FAULTS.md``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "CrashAt",
+    "DelaySpike",
+    "DuplicateWindow",
+    "FaultAction",
+    "LossWindow",
+    "PartitionWindow",
+    "RandomChaos",
+    "RecoverAt",
+    "ReorderWindow",
+    "Schedule",
+]
+
+
+@dataclass(frozen=True)
+class CrashAt:
+    """Crash ``target`` (a host/actor name) at time ``at``."""
+
+    at: float
+    target: str
+
+    def describe(self) -> str:
+        return f"crash {self.target}"
+
+
+@dataclass(frozen=True)
+class RecoverAt:
+    """Recover ``target`` at time ``at`` (volatile state rebuilt from
+    its latest checkpoint where the target supports one)."""
+
+    at: float
+    target: str
+
+    def describe(self) -> str:
+        return f"recover {self.target}"
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Cut all traffic between the two host groups during [start, end)."""
+
+    start: float
+    end: float
+    side_a: tuple[str, ...]
+    side_b: tuple[str, ...]
+
+    def describe(self) -> str:
+        return (
+            f"partition {{{', '.join(self.side_a)}}} | "
+            f"{{{', '.join(self.side_b)}}}"
+        )
+
+
+@dataclass(frozen=True)
+class LossWindow:
+    """Drop matching messages with probability ``loss`` during the window.
+
+    ``src``/``dst`` restrict the window to directed traffic between the
+    named host sets; ``None`` matches any host.
+    """
+
+    start: float
+    end: float
+    loss: float
+    src: Optional[tuple[str, ...]] = None
+    dst: Optional[tuple[str, ...]] = None
+
+    def describe(self) -> str:
+        return f"loss {self.loss:.0%} {_link_str(self.src, self.dst)}"
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Add ``extra_latency`` to matching messages during the window."""
+
+    start: float
+    end: float
+    extra_latency: float
+    src: Optional[tuple[str, ...]] = None
+    dst: Optional[tuple[str, ...]] = None
+
+    def describe(self) -> str:
+        return (
+            f"delay +{self.extra_latency * 1000:.1f}ms "
+            f"{_link_str(self.src, self.dst)}"
+        )
+
+
+@dataclass(frozen=True)
+class DuplicateWindow:
+    """Deliver a second copy of matching messages with ``probability``.
+
+    Duplicates trail the original by up to ``spread`` seconds and are
+    exempt from the per-link FIFO guarantee -- the protocol stack must
+    deduplicate (Paxos instance numbers make every layer idempotent).
+    """
+
+    start: float
+    end: float
+    probability: float
+    spread: float = 0.005
+    src: Optional[tuple[str, ...]] = None
+    dst: Optional[tuple[str, ...]] = None
+
+    def describe(self) -> str:
+        return (
+            f"duplicate {self.probability:.0%} "
+            f"{_link_str(self.src, self.dst)}"
+        )
+
+
+@dataclass(frozen=True)
+class ReorderWindow:
+    """Let matching messages escape FIFO by up to ``spread`` seconds
+    with ``probability`` (bounded reordering)."""
+
+    start: float
+    end: float
+    probability: float
+    spread: float = 0.005
+    src: Optional[tuple[str, ...]] = None
+    dst: Optional[tuple[str, ...]] = None
+
+    def describe(self) -> str:
+        return (
+            f"reorder {self.probability:.0%} (±{self.spread * 1000:.1f}ms) "
+            f"{_link_str(self.src, self.dst)}"
+        )
+
+
+def _link_str(src, dst) -> str:
+    a = ",".join(src) if src else "*"
+    b = ",".join(dst) if dst else "*"
+    return f"{a}->{b}"
+
+
+FaultAction = Union[
+    CrashAt,
+    RecoverAt,
+    PartitionWindow,
+    LossWindow,
+    DelaySpike,
+    DuplicateWindow,
+    ReorderWindow,
+]
+
+_POINT_ACTIONS = (CrashAt, RecoverAt)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A named, validated fault plan in absolute virtual time."""
+
+    name: str
+    actions: tuple[FaultAction, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+        for action in self.actions:
+            if isinstance(action, _POINT_ACTIONS):
+                if action.at < 0:
+                    raise ValueError(f"{action} fires before t=0")
+            else:
+                if action.start < 0 or action.end <= action.start:
+                    raise ValueError(f"{action} has an empty or negative window")
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled effect (0.0 for an empty plan)."""
+        times = [
+            action.at if isinstance(action, _POINT_ACTIONS) else action.end
+            for action in self.actions
+        ]
+        return max(times, default=0.0)
+
+    def events(self) -> list[tuple[float, str]]:
+        """Chronological ``(time, description)`` pairs for reporting."""
+        out: list[tuple[float, str]] = []
+        for action in self.actions:
+            if isinstance(action, _POINT_ACTIONS):
+                out.append((action.at, action.describe()))
+            else:
+                out.append((action.start, "begin " + action.describe()))
+                out.append((action.end, "end " + action.describe()))
+        return sorted(out, key=lambda pair: pair[0])
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+class RandomChaos:
+    """Seeded generator of adversarial schedules for a given topology.
+
+    Draws crash/recover pairs over ``crash_targets``, partition windows
+    over ``partition_cuts`` (candidate host-set pairs), and loss, delay,
+    duplication and reordering windows over the whole network.  All
+    faults land inside ``[warmup, horizon * (1 - quiet_tail)]`` so the
+    run ends with a quiet period in which recovery machinery converges.
+
+    The draw order is fixed, so one seed always produces one schedule.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        horizon: float,
+        crash_targets: tuple[str, ...] = (),
+        partition_cuts: tuple[tuple[tuple[str, ...], tuple[str, ...]], ...] = (),
+        n_crashes: int = 2,
+        n_partitions: int = 2,
+        n_loss_windows: int = 1,
+        n_delay_spikes: int = 1,
+        n_duplicate_windows: int = 1,
+        n_reorder_windows: int = 1,
+        warmup: float = 0.1,
+        quiet_tail: float = 0.35,
+        min_outage: float = 0.1,
+        max_outage: float = 0.5,
+    ):
+        if horizon <= warmup:
+            raise ValueError("horizon must exceed the warmup period")
+        self.seed = seed
+        self.horizon = horizon
+        self.crash_targets = tuple(crash_targets)
+        self.partition_cuts = tuple(partition_cuts)
+        self.n_crashes = n_crashes if self.crash_targets else 0
+        self.n_partitions = n_partitions if self.partition_cuts else 0
+        self.n_loss_windows = n_loss_windows
+        self.n_delay_spikes = n_delay_spikes
+        self.n_duplicate_windows = n_duplicate_windows
+        self.n_reorder_windows = n_reorder_windows
+        self.warmup = warmup
+        self.quiet_tail = quiet_tail
+        self.min_outage = min_outage
+        self.max_outage = max_outage
+
+    def generate(self) -> Schedule:
+        # Derive the stream the way RngRegistry does: stable across
+        # processes (tuple/str hashes are per-process randomised).
+        rng = random.Random(
+            zlib.crc32(b"chaos") ^ (self.seed * 2654435761 % 2**32)
+        )
+        active_end = self.horizon * (1.0 - self.quiet_tail)
+        actions: list[FaultAction] = []
+
+        # Crash/recover pairs: per-target windows never overlap (a host
+        # cannot crash while already down), tracked with a time cursor.
+        cursors = {target: self.warmup for target in self.crash_targets}
+        for _ in range(self.n_crashes):
+            target = rng.choice(self.crash_targets)
+            earliest = cursors[target]
+            latest = active_end - self.min_outage
+            if earliest >= latest:
+                continue   # this target has no room left before the tail
+            at = rng.uniform(earliest, latest)
+            outage = rng.uniform(self.min_outage, self.max_outage)
+            back = min(at + outage, active_end)
+            actions.append(CrashAt(at=at, target=target))
+            actions.append(RecoverAt(at=back, target=target))
+            cursors[target] = back + 0.05
+
+        for _ in range(self.n_partitions):
+            side_a, side_b = rng.choice(self.partition_cuts)
+            start = rng.uniform(self.warmup, active_end - self.min_outage)
+            length = rng.uniform(self.min_outage, self.max_outage)
+            actions.append(
+                PartitionWindow(
+                    start=start,
+                    end=min(start + length, active_end),
+                    side_a=tuple(side_a),
+                    side_b=tuple(side_b),
+                )
+            )
+
+        def window(length_lo: float, length_hi: float) -> tuple[float, float]:
+            start = rng.uniform(self.warmup, active_end - length_lo)
+            length = rng.uniform(length_lo, length_hi)
+            return start, min(start + length, active_end)
+
+        for _ in range(self.n_loss_windows):
+            start, end = window(self.min_outage, self.max_outage)
+            actions.append(
+                LossWindow(start=start, end=end, loss=rng.uniform(0.05, 0.25))
+            )
+        for _ in range(self.n_delay_spikes):
+            start, end = window(self.min_outage, self.max_outage)
+            actions.append(
+                DelaySpike(
+                    start=start, end=end,
+                    extra_latency=rng.uniform(0.002, 0.02),
+                )
+            )
+        for _ in range(self.n_duplicate_windows):
+            start, end = window(self.min_outage, self.max_outage)
+            actions.append(
+                DuplicateWindow(
+                    start=start, end=end,
+                    probability=rng.uniform(0.1, 0.5),
+                    spread=rng.uniform(0.001, 0.01),
+                )
+            )
+        for _ in range(self.n_reorder_windows):
+            start, end = window(self.min_outage, self.max_outage)
+            actions.append(
+                ReorderWindow(
+                    start=start, end=end,
+                    probability=rng.uniform(0.1, 0.4),
+                    spread=rng.uniform(0.001, 0.01),
+                )
+            )
+
+        actions.sort(
+            key=lambda a: a.at if isinstance(a, _POINT_ACTIONS) else a.start
+        )
+        return Schedule(name=f"chaos-{self.seed}", actions=tuple(actions))

@@ -132,11 +132,16 @@ class BroadcastClient(Actor):
         try:
             while True:
                 target = self._target_of(stream)
-                value = AppValue(
-                    payload=None, size=self.value_size, sender=self.name
-                )
                 started = self.env.now
                 while True:
+                    # A fresh value per attempt: coordinators order each
+                    # msg_id at most once (wire-duplicate dedup), so a
+                    # retry after a timeout must be a new submission --
+                    # e.g. when the original was ordered below a merge
+                    # point and discarded by the subscription scan.
+                    value = AppValue(
+                        payload=None, size=self.value_size, sender=self.name
+                    )
                     done = self.env.event()
                     self._pending[value.msg_id] = done
                     coordinator = self.directory[target].config.coordinator

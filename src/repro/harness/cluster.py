@@ -5,12 +5,17 @@ deployments (coordinator + acceptor ring each), key/value replicas,
 closed-loop clients and the re-partitioning orchestrator -- from a few
 imperative calls, mirroring how the paper's experiments are deployed on
 OpenStack.
+
+:class:`MulticastCluster` is the protocol-level subset (streams +
+multicast replicas + a control client, no key/value store on top); the
+integration tests and the fault-injection scenario runner
+(:mod:`repro.faults`) build on it.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Callable, Optional
 
 from ..coordination.registry import RegistryService
 from ..kvstore.client import PARTITION_MAP_KEY, KvClient
@@ -18,6 +23,7 @@ from ..kvstore.partitioning import PartitionMap
 from ..kvstore.replica import KvReplica
 from ..kvstore.repartition import RepartitionOrchestrator
 from ..multicast.api import MulticastClient
+from ..multicast.replica import MulticastReplica
 from ..multicast.stream import StreamDeployment
 from ..paxos.config import StreamConfig
 from ..sim.core import Environment
@@ -25,7 +31,111 @@ from ..sim.network import LinkSpec, Network
 from ..sim.rng import RngRegistry
 from ..workload.generators import KeyspaceWorkload
 
-__all__ = ["KvCluster"]
+__all__ = ["KvCluster", "MulticastCluster"]
+
+
+class MulticastCluster:
+    """Streams, multicast replicas and a client under one environment.
+
+    The construction boilerplate every integration test used to repeat
+    (environment, network, per-stream deployments, replicas with a
+    recording ``on_deliver``), packaged once.  Delivered payloads are
+    recorded per replica in :attr:`delivered`.
+    """
+
+    def __init__(
+        self,
+        streams: tuple[str, ...] | list[str] = (),
+        seed: int = 7,
+        link_latency: float = 0.001,
+        lam: int = 500,
+        delta_t: float = 0.05,
+        n_acceptors: int = 3,
+        **config_overrides,
+    ):
+        self.env = Environment()
+        self.rng = RngRegistry(seed)
+        self.network = Network(
+            self.env, rng=self.rng, default_link=LinkSpec(latency=link_latency)
+        )
+        self.lam = lam
+        self.delta_t = delta_t
+        self.n_acceptors = n_acceptors
+        self._config_overrides = config_overrides
+        self.directory: dict[str, StreamDeployment] = {}
+        self.replicas: dict[str, MulticastReplica] = {}
+        self.delivered: dict[str, list] = {}
+        self._client: Optional[MulticastClient] = None
+        for name in streams:
+            self.add_stream(name)
+
+    def add_stream(self, name: str, **config_overrides) -> StreamDeployment:
+        """Deploy and start a stream (coordinator + acceptor ring)."""
+        if name in self.directory:
+            raise ValueError(f"stream {name!r} already deployed")
+        overrides = dict(self._config_overrides)
+        overrides.update(config_overrides)
+        overrides.setdefault("lam", self.lam)
+        overrides.setdefault("delta_t", self.delta_t)
+        config = StreamConfig(
+            name=name,
+            acceptors=tuple(f"{name}/a{i + 1}" for i in range(self.n_acceptors)),
+            **overrides,
+        )
+        deployment = StreamDeployment(self.env, self.network, config)
+        self.directory[name] = deployment
+        deployment.start()
+        return deployment
+
+    def add_replica(
+        self,
+        name: str,
+        group: str,
+        streams: list[str],
+        on_deliver: Optional[Callable] = None,
+        **replica_kwargs,
+    ) -> MulticastReplica:
+        """Bootstrap a replica; its deliveries land in ``delivered[name]``."""
+        if name in self.replicas:
+            raise ValueError(f"replica {name!r} already deployed")
+        log: list = []
+        self.delivered[name] = log
+
+        def record(value, stream, position):
+            log.append((value.payload, stream))
+            if on_deliver is not None:
+                on_deliver(value, stream, position)
+
+        replica = MulticastReplica(
+            self.env, self.network, name, group, self.directory,
+            on_deliver=record, **replica_kwargs,
+        )
+        replica.bootstrap(list(streams))
+        self.replicas[name] = replica
+        return replica
+
+    @property
+    def client(self) -> MulticastClient:
+        """A lazily created multicast client named ``client``."""
+        if self._client is None:
+            self._client = MulticastClient(
+                self.env, self.network, "client", self.directory
+            )
+        return self._client
+
+    def groups(self) -> dict[str, list[str]]:
+        """Replica names per replication group (sorted both ways)."""
+        out: dict[str, list[str]] = {}
+        for name in sorted(self.replicas):
+            out.setdefault(self.replicas[name].group, []).append(name)
+        return out
+
+    def payloads(self, replica: str) -> list:
+        """Payloads delivered at ``replica``, in merge order."""
+        return [p for p, _s in self.delivered[replica]]
+
+    def run(self, until: float) -> None:
+        self.env.run(until=until)
 
 
 class KvCluster:

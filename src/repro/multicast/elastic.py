@@ -85,6 +85,11 @@ class MergerStats:
     subscriptions: int = 0
     unsubscriptions: int = 0
     per_stream_delivered: dict = field(default_factory=dict)
+    # request_id -> (stream, merge point) per committed subscription.
+    # Every replica of a group must compute the same merge point for the
+    # same request (Fig. 2); the fault-injection invariant checkers
+    # compare these across replicas.
+    merge_points: dict = field(default_factory=dict)
 
 
 class ElasticMerger:
@@ -143,11 +148,17 @@ class ElasticMerger:
         self,
         streams: dict[str, TokenLog],
         positions: Optional[dict[str, int]] = None,
+        next_stream: Optional[str] = None,
     ) -> None:
         """Install the initial subscriptions (the default stream(s)).
 
-        ``positions`` presets the merge cursors -- used when a replica
-        recovers from a checkpoint and resumes mid-stream.
+        ``positions`` presets the merge cursors and ``next_stream`` the
+        round-robin turn -- used when a replica recovers from a
+        checkpoint and resumes mid-stream.  Restoring the turn matters:
+        a checkpoint can be cut mid-cycle (one cursor already advanced,
+        the next stream's position still undecided), and restarting
+        round-robin from first(Σ) would replay the suffix in a
+        different interleaving than the pre-crash replica delivered.
         """
         if self.sigma:
             raise RuntimeError("merger already bootstrapped")
@@ -160,6 +171,13 @@ class ElasticMerger:
             self._cursors[name] = cursor
             self.stats.per_stream_delivered[name] = 0
         self.sigma = sorted(streams)
+        if next_stream is not None:
+            self._rr = self.sigma.index(next_stream)
+
+    @property
+    def next_stream(self) -> Optional[str]:
+        """The stream whose turn the round-robin is at (None pre-bootstrap)."""
+        return self.sigma[self._rr] if self.sigma else None
 
     @property
     def subscriptions(self) -> tuple[str, ...]:
@@ -348,6 +366,9 @@ class ElasticMerger:
         pending = self._pending
         self._pending = None
         self.sigma = sorted(self.sigma + [pending.stream])
+        self.stats.merge_points[pending.request_id] = (
+            pending.stream, pending.merge_ptr
+        )
         self.stats.per_stream_delivered.setdefault(pending.stream, 0)
         self._rr = 0   # restart from first(Σ), Algorithm 1 line 28
         self.stats.subscriptions += 1

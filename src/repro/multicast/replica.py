@@ -53,6 +53,7 @@ class MulticastReplica(Actor):
         self.group = group
         self.directory = directory
         self._on_deliver = on_deliver
+        self._observers: list[Callable[[AppValue, str, int], None]] = []
         self.learners: dict[str, LearnerCore] = {}
         self.logs: dict[str, TokenLog] = {}
         self.merger = ElasticMerger(
@@ -68,8 +69,19 @@ class MulticastReplica(Actor):
 
     def apply(self, value: AppValue, stream: str, position: int) -> None:
         """Deliver one value to the application (override or callback)."""
+        for observer in self._observers:
+            observer(value, stream, position)
         if self._on_deliver is not None:
             self._on_deliver(value, stream, position)
+
+    def add_delivery_observer(
+        self, observer: Callable[[AppValue, str, int], None]
+    ) -> None:
+        """Attach a tap invoked on every delivery, before the
+        application.  Observers survive crash/recovery (they watch the
+        replica, not its volatile state) -- the invariant checkers of
+        :mod:`repro.faults` attach through this."""
+        self._observers.append(observer)
 
     def on_subscription_change(self, kind: str, stream: str) -> None:
         """Subclass hook: Σ changed ('subscribe'/'unsubscribe')."""
@@ -169,6 +181,7 @@ class MulticastReplica(Actor):
         return {
             "sigma": list(self.merger.sigma),
             "streams": streams,
+            "next_stream": self.merger.next_stream,
             "state": self.snapshot_state(),
         }
 
@@ -202,7 +215,11 @@ class MulticastReplica(Actor):
                 base_position=point["base_position"],
             )
             positions[stream] = point["cursor"]
-        self.merger.bootstrap(logs, positions=positions)
+        self.merger.bootstrap(
+            logs,
+            positions=positions,
+            next_stream=checkpoint.get("next_stream"),
+        )
         self.restore_state(checkpoint["state"])
         self.start()
         for stream in checkpoint["streams"]:

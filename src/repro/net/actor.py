@@ -37,6 +37,11 @@ class Actor:
         self.network = network
         self.name = name
         self.host = network.add_host(name)
+        # Back-reference so fault injectors that only know host names
+        # can crash the *process* (stop loops, halt timers), not just
+        # the box -- crashing only the host would leave the receive
+        # loop parked on the replaced inbox forever.
+        self.host.actor = self
         self._loop: Optional[Process] = None
 
     # -- lifecycle ------------------------------------------------------

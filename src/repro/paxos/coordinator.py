@@ -70,6 +70,7 @@ class CoordinatorActor(Actor):
         self.outstanding: dict[int, dict] = {}  # instance -> tracking info
         self.decided_instances: set[int] = set()
         self.learners: list[str] = []
+        self._submitted_ids: set = set()       # wire-level submission dedup
 
         self.positions_decided = 0             # lifetime decided positions
         self.positions_proposed = 0            # lifetime proposed positions
@@ -196,6 +197,17 @@ class CoordinatorActor(Actor):
                 f"{self.name} leads stream {self.stream!r}, got a proposal "
                 f"for {msg.stream!r}"
             )
+        # The network may duplicate a Propose (client retransmission or
+        # wire-level duplication); ordering the same message twice would
+        # break atomic multicast integrity, so dedupe by application id.
+        token_id = getattr(msg.token, "msg_id", None)
+        if token_id is None:
+            token_id = getattr(msg.token, "request_id", None)
+        if token_id is not None:
+            key = (type(msg.token).__name__, token_id)
+            if key in self._submitted_ids:
+                return
+            self._submitted_ids.add(key)
         self.propose(msg.token)
 
     def _pump_proposals(self) -> None:

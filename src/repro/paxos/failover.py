@@ -65,6 +65,22 @@ class FailoverMonitor(Actor):
             self._proc.interrupt("stop")
         self._proc = None
 
+    def watch(self, active: str, standby: CoordinatorActor) -> None:
+        """Re-arm the monitor against a new active/standby pair.
+
+        After a failover the probe loop has exited; chained fault
+        scenarios (the promoted coordinator crashing in turn) re-arm the
+        monitor once a fresh standby is deployed.
+        """
+        self.active = active
+        self.standby = standby
+        self.failed_over = False
+        self.failover_at = None
+        self._outstanding = None
+        self._missed = 0
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.env.process(self._probe_loop())
+
     def _probe_loop(self):
         while not self.failed_over:
             nonce = next(_nonces)

@@ -64,6 +64,7 @@ class LearnerCore:
         self._recover_acceptor_rr = 0
         self._gap_since: Optional[float] = None
         self._recovery_requested_at: Optional[float] = None
+        self._recovery_page_start: Optional[int] = None
         self._gap_proc = None
 
     def start(self) -> None:
@@ -115,6 +116,7 @@ class LearnerCore:
         ]
         self._recover_acceptor_rr += 1
         self._recovery_requested_at = self.env.now
+        self._recovery_page_start = from_instance
         self.send(
             acceptor,
             RecoverRequest(
@@ -141,8 +143,18 @@ class LearnerCore:
             self._ingest(instance, batch)
         if self.catching_up:
             if msg.highest_decided >= self.next_instance and msg.decided:
-                # More history remains: fetch the next page.
-                self._request_recovery(self.next_instance, -1)
+                # More history remains: fetch the next page -- but only
+                # if this reply advanced us past the page we last asked
+                # for.  A duplicated reply (the network may duplicate
+                # datagrams) must not fork the paging loop: each extra
+                # request would draw an extra reply, amplifying
+                # exponentially.  Lost replies are retried by the
+                # gap-repair loop, so pacing costs no liveness.
+                if (
+                    self._recovery_page_start is None
+                    or self.next_instance > self._recovery_page_start
+                ):
+                    self._request_recovery(self.next_instance, -1)
             else:
                 self.catching_up = False
 

@@ -356,6 +356,16 @@ class Environment:
         self._schedule(event, delay)
         return event
 
+    def call_at(self, when: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``when``.
+
+        Convenience over :meth:`call_later` for pre-compiled schedules
+        (fault injection plans are authored in absolute sim time).
+        """
+        if when < self._now:
+            raise ValueError(f"when ({when}) lies in the past (now={self._now})")
+        return self.call_later(when - self._now, fn, *args)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")

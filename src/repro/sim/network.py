@@ -19,13 +19,13 @@ Hosts are looked up by name.  Each host owns an unbounded inbox
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from .core import Environment
 from .queues import Store
 from .rng import RngRegistry
 
-__all__ = ["Envelope", "Host", "Network", "LinkSpec"]
+__all__ = ["Envelope", "FaultRule", "Host", "Network", "LinkSpec"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,8 @@ class Envelope:
     size: int          # wire size in bytes, for bandwidth accounting
     sent_at: float
     delivered_at: float
+    dst_incarnation: int = 0   # receiver reboot count at send time
+    duplicated: bool = False   # injected duplicate copy
 
 
 @dataclass
@@ -50,18 +52,72 @@ class LinkSpec:
     loss: float = 0.0                # independent drop probability
 
 
+@dataclass
+class FaultRule:
+    """A transient fault overlay applied on top of the link specs.
+
+    Rules are installed/removed dynamically (the fault orchestrator uses
+    them to realise loss windows, delay spikes, duplication and
+    reordering windows).  ``src``/``dst`` restrict the rule to matching
+    directed traffic; ``None`` matches any host.
+
+    Duplicated and reordered copies model datagram-level anomalies and
+    deliberately bypass the per-link TCP FIFO guarantee -- that is the
+    point of injecting them.
+    """
+
+    src: Optional[frozenset[str]] = None   # None = any sender
+    dst: Optional[frozenset[str]] = None   # None = any receiver
+    loss: float = 0.0                      # extra drop probability
+    extra_latency: float = 0.0             # added propagation delay
+    duplicate: float = 0.0                 # probability of a second copy
+    reorder: float = 0.0                   # probability FIFO is bypassed
+    reorder_spread: float = 0.01           # max lead/lag of a reordered msg
+
+    @staticmethod
+    def _selector(names: Optional[Iterable[str]]) -> Optional[frozenset[str]]:
+        if names is None:
+            return None
+        if isinstance(names, str):
+            return frozenset((names,))
+        return frozenset(names)
+
+    def __post_init__(self) -> None:
+        self.src = self._selector(self.src)
+        self.dst = self._selector(self.dst)
+
+    def matches(self, src: str, dst: str) -> bool:
+        if self.src is not None and src not in self.src:
+            return False
+        if self.dst is not None and dst not in self.dst:
+            return False
+        return True
+
+
 class Host:
-    """A named node with an inbox and a crash flag."""
+    """A named node with an inbox and a crash flag.
+
+    ``incarnation`` counts reboots: it is bumped on every crash so the
+    network can discard envelopes that were in flight across a crash
+    (a rebooted OS resets its TCP connections; packets of the old
+    incarnation never reach the new process).
+    """
 
     def __init__(self, env: Environment, name: str):
         self.env = env
         self.name = name
         self.inbox: Store = Store(env)
         self.crashed = False
+        self.incarnation = 0
+        # Back-reference to the protocol actor bound to this host (set
+        # by net.actor.Actor); fault injectors use it to crash the
+        # process, not just the box.
+        self.actor: Optional[Any] = None
 
     def crash(self) -> None:
         """Crash the host: drop its queued inbox and future traffic."""
         self.crashed = True
+        self.incarnation += 1
         self.inbox = Store(self.env)
 
     def recover(self) -> None:
@@ -92,9 +148,12 @@ class Network:
         self._link_busy_until: dict[tuple[str, str], float] = {}
         self._link_last_arrival: dict[tuple[str, str], float] = {}
         self._partitions: set[frozenset[str]] = set()
+        self._fault_rules: list[FaultRule] = []
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
         self.bytes_delivered = 0
 
     # -- topology -----------------------------------------------------
@@ -129,12 +188,34 @@ class Network:
             for b in group_b:
                 self._partitions.add(frozenset((a, b)))
 
+    def unpartition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Heal exactly the cut between the two host groups.
+
+        Overlapping partition windows stay intact -- only the pairs
+        named here are reconnected (``heal`` wipes everything).
+        """
+        for a in group_a:
+            for b in group_b:
+                self._partitions.discard(frozenset((a, b)))
+
     def heal(self) -> None:
         """Remove all partitions."""
         self._partitions.clear()
 
     def is_partitioned(self, a: str, b: str) -> bool:
         return frozenset((a, b)) in self._partitions
+
+    def add_fault(self, rule: FaultRule) -> FaultRule:
+        """Install a transient fault overlay; returns it for removal."""
+        self._fault_rules.append(rule)
+        return rule
+
+    def remove_fault(self, rule: FaultRule) -> None:
+        """Remove a previously installed fault overlay (idempotent)."""
+        try:
+            self._fault_rules.remove(rule)
+        except ValueError:
+            pass
 
     # -- sending ------------------------------------------------------
 
@@ -157,6 +238,11 @@ class Network:
         if spec.loss > 0 and self._rng.random() < spec.loss:
             self.messages_dropped += 1
             return
+        rules = [r for r in self._fault_rules if r.matches(src, dst)]
+        for rule in rules:
+            if rule.loss > 0 and self._rng.random() < rule.loss:
+                self.messages_dropped += 1
+                return
         now = self.env.now
         key = (src, dst)
         if spec.bandwidth is not None:
@@ -168,15 +254,42 @@ class Network:
         latency = spec.latency
         if spec.jitter > 0:
             latency += self._rng.uniform(0.0, spec.jitter)
+        for rule in rules:
+            latency += rule.extra_latency
         arrival = tx_done + latency
-        # TCP-like FIFO per link: never deliver before a prior message.
-        arrival = max(arrival, self._link_last_arrival.get(key, 0.0))
-        self._link_last_arrival[key] = arrival
+        # Injected reordering: the message escapes the TCP FIFO -- its
+        # arrival is perturbed by up to ``reorder_spread`` in either
+        # direction and neither respects nor advances the link's FIFO
+        # horizon, so it may overtake (or be overtaken by) neighbours.
+        reordered = any(
+            rule.reorder > 0 and self._rng.random() < rule.reorder
+            for rule in rules
+        )
+        if reordered:
+            spread = max(r.reorder_spread for r in rules if r.reorder > 0)
+            arrival = max(now, arrival + self._rng.uniform(-spread, spread))
+            self.messages_reordered += 1
+        else:
+            # TCP-like FIFO per link: never deliver before a prior message.
+            arrival = max(arrival, self._link_last_arrival.get(key, 0.0))
+            self._link_last_arrival[key] = arrival
         envelope = Envelope(
             src=src, dst=dst, payload=payload, size=size,
             sent_at=now, delivered_at=arrival,
+            dst_incarnation=receiver.incarnation,
         )
         self.env.call_later(arrival - now, self._deliver, envelope)
+        for rule in rules:
+            if rule.duplicate > 0 and self._rng.random() < rule.duplicate:
+                offset = self._rng.uniform(0.0, rule.reorder_spread)
+                copy = Envelope(
+                    src=src, dst=dst, payload=payload, size=size,
+                    sent_at=now, delivered_at=arrival + offset,
+                    dst_incarnation=receiver.incarnation, duplicated=True,
+                )
+                self.messages_duplicated += 1
+                self.env.call_later(arrival + offset - now, self._deliver, copy)
+                break   # at most one injected copy per message
 
     def broadcast(self, src: str, dsts: list[str], payload: Any, size: int = 128) -> None:
         """Unicast ``payload`` to every destination in ``dsts``."""
@@ -186,6 +299,13 @@ class Network:
     def _deliver(self, envelope: Envelope) -> None:
         receiver = self._hosts.get(envelope.dst)
         if receiver is None or receiver.crashed:
+            self.messages_dropped += 1
+            return
+        if receiver.incarnation != envelope.dst_incarnation:
+            # The receiver rebooted while this envelope was in flight:
+            # its old connections died with it, so the stale envelope
+            # must not leak into the new incarnation's inbox (it could
+            # arrive out of FIFO order relative to post-reboot traffic).
             self.messages_dropped += 1
             return
         if self.is_partitioned(envelope.src, envelope.dst):

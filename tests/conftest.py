@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.harness.cluster import MulticastCluster
+
+
+@pytest.fixture
+def make_cluster():
+    """Factory for protocol-level clusters (streams + replicas + client).
+
+    Deduplicates the environment/network/stream-deployment boilerplate
+    the integration tests used to copy-paste::
+
+        cluster = make_cluster(["S1", "S2"], seed=31)
+        cluster.add_replica("r1", "G1", ["S1"])
+        cluster.client.multicast("S1", payload=1)
+        cluster.run(until=1.0)
+        assert cluster.payloads("r1") == [1]
+
+    Delivered ``(payload, stream)`` pairs are recorded per replica in
+    ``cluster.delivered``; ``cluster.payloads(name)`` strips the stream.
+    """
+
+    def factory(streams=("S1", "S2"), seed=7, lam=500, delta_t=0.05, **kwargs):
+        return MulticastCluster(
+            streams=tuple(streams), seed=seed, lam=lam, delta_t=delta_t, **kwargs
+        )
+
+    return factory

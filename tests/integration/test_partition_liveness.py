@@ -5,85 +5,57 @@ Network partitions injected mid-protocol: the affected operations block
 complete once the partition heals -- "GST" in the paper's model.
 """
 
-from repro.multicast import MulticastClient, MulticastReplica, StreamDeployment
-from repro.paxos import StreamConfig
-from repro.sim import Environment, LinkSpec, Network, RngRegistry
 
-
-def make_world(stream_names=("S1", "S2"), lam=500, delta_t=0.05, seed=61):
-    env = Environment()
-    net = Network(env, rng=RngRegistry(seed), default_link=LinkSpec(latency=0.001))
-    directory = {}
-    for name in stream_names:
-        config = StreamConfig(
-            name=name,
-            acceptors=(f"{name}/a1", f"{name}/a2", f"{name}/a3"),
-            lam=lam,
-            delta_t=delta_t,
-        )
-        directory[name] = StreamDeployment(env, net, config)
-        directory[name].start()
-    client = MulticastClient(env, net, "client", directory)
-    return env, net, directory, client
-
-
-def make_replica(env, net, directory, name, group, streams):
-    delivered = []
-    replica = MulticastReplica(
-        env, net, name, group, directory,
-        on_deliver=lambda v, s, p: delivered.append(v.payload),
-    )
-    replica.bootstrap(streams)
-    return replica, delivered
-
-
-def test_partitioned_stream_blocks_then_resumes():
-    env, net, directory, client = make_world(("S1",))
-    replica, delivered = make_replica(env, net, directory, "r1", "G", ["S1"])
+def test_partitioned_stream_blocks_then_resumes(make_cluster):
+    cluster = make_cluster(("S1",), seed=61)
+    cluster.add_replica("r1", "G", ["S1"])
+    net, client = cluster.network, cluster.client
     for i in range(5):
         client.multicast("S1", payload=("pre", i))
-    env.run(until=0.5)
-    assert len(delivered) == 5
+    cluster.run(until=0.5)
+    assert len(cluster.delivered["r1"]) == 5
 
     # Partition the coordinator from all acceptors: nothing decides.
     net.partition({"S1/coordinator"}, {"S1/a1", "S1/a2", "S1/a3"})
     for i in range(5):
         client.multicast("S1", payload=("during", i))
-    env.run(until=2.0)
-    assert len(delivered) == 5   # blocked, not lost, not reordered
+    cluster.run(until=2.0)
+    assert len(cluster.delivered["r1"]) == 5   # blocked, not lost, not reordered
 
     net.heal()
-    env.run(until=5.0)
-    payloads = [p for p in delivered]
+    cluster.run(until=5.0)
+    payloads = cluster.payloads("r1")
     assert payloads[:5] == [("pre", i) for i in range(5)]
     # After GST the retransmit machinery pushes the blocked values through.
     assert set(payloads[5:]) == {("during", i) for i in range(5)}
 
 
-def test_subscription_blocked_by_partition_completes_after_heal():
-    env, net, directory, client = make_world()
-    replica, delivered = make_replica(env, net, directory, "r1", "G", ["S1"])
-    env.run(until=0.3)
+def test_subscription_blocked_by_partition_completes_after_heal(make_cluster):
+    cluster = make_cluster(("S1", "S2"), seed=61)
+    replica = cluster.add_replica("r1", "G", ["S1"])
+    net, client = cluster.network, cluster.client
+    cluster.run(until=0.3)
     # The replica cannot reach S2's acceptors: the subscription's scan
     # of the new stream cannot proceed.
     net.partition({"r1"}, {"S2/a1", "S2/a2", "S2/a3"})
     client.subscribe_msg("G", new_stream="S2", via_stream="S1")
-    env.run(until=1.5)
+    cluster.run(until=1.5)
     assert replica.merger.pending_subscription == "S2"
     assert replica.subscriptions == ("S1",)
 
     net.heal()
-    env.run(until=6.0)
+    cluster.run(until=6.0)
     assert replica.merger.pending_subscription is None
     assert replica.subscriptions == ("S1", "S2")
 
 
-def test_replica_partitioned_from_one_stream_stalls_merge_only():
+def test_replica_partitioned_from_one_stream_stalls_merge_only(make_cluster):
     """A replica cut off from one of its streams stops delivering (the
     merge is strict) but catches up identically after healing."""
-    env, net, directory, client = make_world()
-    r1, d1 = make_replica(env, net, directory, "r1", "G1", ["S1", "S2"])
-    r2, d2 = make_replica(env, net, directory, "r2", "G2", ["S1", "S2"])
+    cluster = make_cluster(("S1", "S2"), seed=61)
+    cluster.add_replica("r1", "G1", ["S1", "S2"])
+    cluster.add_replica("r2", "G2", ["S1", "S2"])
+    env, net, client = cluster.env, cluster.network, cluster.client
 
     def load():
         for i in range(200):
@@ -91,13 +63,13 @@ def test_replica_partitioned_from_one_stream_stalls_merge_only():
             yield env.timeout(0.01)
 
     env.process(load())
-    env.run(until=0.5)
+    cluster.run(until=0.5)
     net.partition({"r1"}, {"S2/a1", "S2/a2", "S2/a3"})
-    env.run(until=1.5)
+    cluster.run(until=1.5)
     # r1 is behind r2 (its S2 feed is cut)...
-    assert len(d1) < len(d2)
+    assert len(cluster.delivered["r1"]) < len(cluster.delivered["r2"])
     net.heal()
-    env.run(until=6.0)
+    cluster.run(until=6.0)
     # ...but converges to the identical sequence after the heal.
-    assert d1 == d2
-    assert len(d1) == 200
+    assert cluster.delivered["r1"] == cluster.delivered["r2"]
+    assert len(cluster.delivered["r1"]) == 200

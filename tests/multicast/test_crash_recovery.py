@@ -4,51 +4,22 @@ import pytest
 
 from repro.harness.cluster import KvCluster
 from repro.kvstore import Partition, PartitionMap
-from repro.multicast import MulticastClient, MulticastReplica, StreamDeployment
-from repro.paxos import StreamConfig
-from repro.sim import Environment, LinkSpec, Network, RngRegistry
 from repro.storage import CheckpointStore
 from repro.workload import KeyspaceWorkload
 
 
-def make_world(stream_names=("S1", "S2"), lam=500, delta_t=0.05):
-    env = Environment()
-    net = Network(env, rng=RngRegistry(31), default_link=LinkSpec(latency=0.001))
-    directory = {}
-    for name in stream_names:
-        config = StreamConfig(
-            name=name,
-            acceptors=(f"{name}/a1", f"{name}/a2", f"{name}/a3"),
-            lam=lam,
-            delta_t=delta_t,
-        )
-        directory[name] = StreamDeployment(env, net, config)
-        directory[name].start()
-    client = MulticastClient(env, net, "client", directory)
-    return env, net, directory, client
-
-
-def test_checkpoint_rejected_during_pending_subscription():
-    env, net, directory, client = make_world()
-    delivered = []
-    replica = MulticastReplica(
-        env, net, "r1", "G", directory,
-        on_deliver=lambda v, s, p: delivered.append(v.payload),
-    )
-    replica.bootstrap(["S1"])
+def test_checkpoint_rejected_during_pending_subscription(make_cluster):
+    cluster = make_cluster(["S1", "S2"], seed=31)
+    replica = cluster.add_replica("r1", "G", ["S1"])
     replica.merger._pending = type("P", (), {"stream": "S2"})()
     with pytest.raises(RuntimeError, match="during a subscription"):
         replica.make_checkpoint()
 
 
-def test_recovery_resumes_without_duplicate_delivery():
-    env, net, directory, client = make_world()
-    delivered = []
-    replica = MulticastReplica(
-        env, net, "r1", "G", directory,
-        on_deliver=lambda v, s, p: delivered.append(v.payload),
-    )
-    replica.bootstrap(["S1"])
+def test_recovery_resumes_without_duplicate_delivery(make_cluster):
+    cluster = make_cluster(["S1", "S2"], seed=31)
+    replica = cluster.add_replica("r1", "G", ["S1"])
+    env, client = cluster.env, cluster.client
 
     def phase1():
         for i in range(20):
@@ -56,8 +27,8 @@ def test_recovery_resumes_without_duplicate_delivery():
             yield env.timeout(0.01)
 
     env.process(phase1())
-    env.run(until=0.5)
-    assert len(delivered) == 20
+    cluster.run(until=0.5)
+    assert len(cluster.delivered["r1"]) == 20
 
     checkpoints = CheckpointStore()
     checkpoints.save(0, replica.make_checkpoint())
@@ -70,34 +41,25 @@ def test_recovery_resumes_without_duplicate_delivery():
             yield env.timeout(0.01)
 
     env.process(phase2())
-    env.run(until=1.0)
-    assert len(delivered) == 20   # crashed: nothing delivered
+    cluster.run(until=1.0)
+    assert len(cluster.delivered["r1"]) == 20   # crashed: nothing delivered
 
     replica.recover_from_checkpoint(checkpoints.latest().state)
-    env.run(until=2.0)
-    payloads = list(delivered)
+    cluster.run(until=2.0)
     # Everything exactly once, in order: the 20 pre-crash (not
     # re-delivered) plus the 10 ordered during the outage.
-    assert payloads == [("pre", i) for i in range(20)] + [
+    assert cluster.payloads("r1") == [("pre", i) for i in range(20)] + [
         ("down", i) for i in range(10)
     ]
 
 
-def test_recovery_relearns_subscription_changes():
+def test_recovery_relearns_subscription_changes(make_cluster):
     """Subscribe/unsubscribe ordered during the outage are replayed:
     the recovering replica converges to the same Σ as a live peer."""
-    env, net, directory, client = make_world()
-    d1, d2 = [], []
-    r1 = MulticastReplica(
-        env, net, "r1", "G", directory,
-        on_deliver=lambda v, s, p: d1.append(v.payload),
-    )
-    r2 = MulticastReplica(
-        env, net, "r2", "G", directory,
-        on_deliver=lambda v, s, p: d2.append(v.payload),
-    )
-    r1.bootstrap(["S1"])
-    r2.bootstrap(["S1"])
+    cluster = make_cluster(["S1", "S2"], seed=31)
+    r1 = cluster.add_replica("r1", "G", ["S1"])
+    r2 = cluster.add_replica("r2", "G", ["S1"])
+    env, client = cluster.env, cluster.client
 
     def load():
         for i in range(100):
@@ -105,14 +67,14 @@ def test_recovery_relearns_subscription_changes():
             yield env.timeout(0.01)
 
     env.process(load())
-    env.run(until=0.3)
+    cluster.run(until=0.3)
 
     checkpoints = CheckpointStore()
     checkpoints.save(0, r1.make_checkpoint())
     r1.crash()
 
     # While r1 is down, the group subscribes to S2.
-    env.run(until=0.4)
+    cluster.run(until=0.4)
     client.subscribe_msg("G", new_stream="S2", via_stream="S1")
 
     def s2_load():
@@ -122,15 +84,15 @@ def test_recovery_relearns_subscription_changes():
             yield env.timeout(0.01)
 
     env.process(s2_load())
-    env.run(until=1.2)
+    cluster.run(until=1.2)
     assert r2.subscriptions == ("S1", "S2")
 
     r1.recover_from_checkpoint(checkpoints.latest().state)
-    env.run(until=3.0)
+    cluster.run(until=3.0)
     # r1 re-learned the subscription from the stream itself.
     assert r1.subscriptions == ("S1", "S2")
     # And both replicas delivered the identical sequence.
-    assert d1 == d2
+    assert cluster.delivered["r1"] == cluster.delivered["r2"]
 
 
 def test_kv_replica_recovery_preserves_store():

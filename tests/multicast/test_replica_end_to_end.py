@@ -2,61 +2,25 @@
 
 These exercise the full paper stack: clients propose over the network,
 streams order via ring Paxos, replicas merge with the elastic dMerge,
-and subscriptions change while traffic flows.
+and subscriptions change while traffic flows.  Cluster construction
+comes from the shared ``make_cluster`` fixture (tests/conftest.py).
 """
 
-import pytest
 
-from repro.multicast import MulticastClient, MulticastReplica, StreamDeployment
-from repro.paxos import StreamConfig
-from repro.sim import Environment, LinkSpec, Network, RngRegistry
-
-
-def make_world(stream_names, lam=500, delta_t=0.05, seed=7):
-    env = Environment()
-    net = Network(env, rng=RngRegistry(seed), default_link=LinkSpec(latency=0.001))
-    directory = {}
-    for name in stream_names:
-        config = StreamConfig(
-            name=name,
-            acceptors=(f"{name}/a1", f"{name}/a2", f"{name}/a3"),
-            lam=lam,
-            delta_t=delta_t,
-        )
-        directory[name] = StreamDeployment(env, net, config)
-        directory[name].start()
-    return env, net, directory
-
-
-def make_replica(env, net, name, group, directory, streams):
-    delivered = []
-    replica = MulticastReplica(
-        env,
-        net,
-        name,
-        group,
-        directory,
-        on_deliver=lambda v, s, p: delivered.append((v.payload, s)),
-    )
-    replica.bootstrap(streams)
-    return replica, delivered
-
-
-def test_multicast_delivers_to_subscribed_group():
-    env, net, directory = make_world(["S1"])
-    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1"])
-    client = MulticastClient(env, net, "client", directory)
+def test_multicast_delivers_to_subscribed_group(make_cluster):
+    cluster = make_cluster(["S1"])
+    cluster.add_replica("r1", "G1", ["S1"])
     for i in range(10):
-        client.multicast("S1", payload=i)
-    env.run(until=1.0)
-    assert [p for p, _s in delivered] == list(range(10))
+        cluster.client.multicast("S1", payload=i)
+    cluster.run(until=1.0)
+    assert cluster.payloads("r1") == list(range(10))
 
 
-def test_two_replicas_same_group_agree():
-    env, net, directory = make_world(["S1", "S2"])
-    r1, d1 = make_replica(env, net, "r1", "G1", directory, ["S1", "S2"])
-    r2, d2 = make_replica(env, net, "r2", "G1", directory, ["S1", "S2"])
-    client = MulticastClient(env, net, "client", directory)
+def test_two_replicas_same_group_agree(make_cluster):
+    cluster = make_cluster(["S1", "S2"])
+    cluster.add_replica("r1", "G1", ["S1", "S2"])
+    cluster.add_replica("r2", "G1", ["S1", "S2"])
+    env, client = cluster.env, cluster.client
 
     def load():
         for i in range(30):
@@ -64,15 +28,15 @@ def test_two_replicas_same_group_agree():
             yield env.timeout(0.002)
 
     env.process(load())
-    env.run(until=2.0)
-    assert len(d1) == 30
-    assert d1 == d2
+    cluster.run(until=2.0)
+    assert len(cluster.delivered["r1"]) == 30
+    assert cluster.delivered["r1"] == cluster.delivered["r2"]
 
 
-def test_dynamic_subscribe_while_under_load():
-    env, net, directory = make_world(["S1", "S2"])
-    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1"])
-    client = MulticastClient(env, net, "client", directory)
+def test_dynamic_subscribe_while_under_load(make_cluster):
+    cluster = make_cluster(["S1", "S2"])
+    replica = cluster.add_replica("r1", "G1", ["S1"])
+    env, client = cluster.env, cluster.client
 
     sent_s2 = []
 
@@ -92,19 +56,20 @@ def test_dynamic_subscribe_while_under_load():
 
     env.process(load())
     env.process(subscriber())
-    env.run(until=2.0)
+    cluster.run(until=2.0)
     assert replica.subscriptions == ("S1", "S2")
+    delivered = cluster.delivered["r1"]
     s1_payloads = [p for p, s in delivered if s == "S1"]
     s2_payloads = [p for p, s in delivered if s == "S2"]
     assert len(s1_payloads) == 100          # nothing from S1 is lost
     assert [i for _tag, i in s2_payloads] == sent_s2  # post-merge-point S2 all arrive
 
 
-def test_dynamic_subscribe_two_replicas_identical_order():
-    env, net, directory = make_world(["S1", "S2"])
-    r1, d1 = make_replica(env, net, "r1", "G1", directory, ["S1"])
-    r2, d2 = make_replica(env, net, "r2", "G1", directory, ["S1"])
-    client = MulticastClient(env, net, "client", directory)
+def test_dynamic_subscribe_two_replicas_identical_order(make_cluster):
+    cluster = make_cluster(["S1", "S2"])
+    r1 = cluster.add_replica("r1", "G1", ["S1"])
+    r2 = cluster.add_replica("r2", "G1", ["S1"])
+    env, client = cluster.env, cluster.client
 
     def load():
         for i in range(150):
@@ -118,17 +83,18 @@ def test_dynamic_subscribe_two_replicas_identical_order():
 
     env.process(load())
     env.process(subscriber())
-    env.run(until=3.0)
+    cluster.run(until=3.0)
     assert r1.subscriptions == ("S1", "S2")
     assert r2.subscriptions == ("S1", "S2")
-    assert d1 == d2
-    assert len(d1) > 150  # all of S1 plus the post-merge-point part of S2
+    assert cluster.delivered["r1"] == cluster.delivered["r2"]
+    # All of S1 plus the post-merge-point part of S2.
+    assert len(cluster.delivered["r1"]) > 150
 
 
-def test_unsubscribe_stops_delivery_from_stream():
-    env, net, directory = make_world(["S1", "S2"])
-    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1", "S2"])
-    client = MulticastClient(env, net, "client", directory)
+def test_unsubscribe_stops_delivery_from_stream(make_cluster):
+    cluster = make_cluster(["S1", "S2"])
+    replica = cluster.add_replica("r1", "G1", ["S1", "S2"])
+    env, client = cluster.env, cluster.client
 
     def scenario():
         for i in range(10):
@@ -142,18 +108,18 @@ def test_unsubscribe_stops_delivery_from_stream():
             yield env.timeout(0.005)
 
     env.process(scenario())
-    env.run(until=2.0)
+    cluster.run(until=2.0)
     assert replica.subscriptions == ("S1",)
-    tags = [p[0] for p, s in delivered if s == "S2"]
+    tags = [p[0] for p, s in cluster.delivered["r1"] if s == "S2"]
     assert tags == ["pre"] * 10
     # The learner task for S2 was stopped and deregistered.
     assert "S2" not in replica.learners
 
 
-def test_prepare_msg_enables_stall_free_subscription():
-    env, net, directory = make_world(["S1", "S2"])
-    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1"])
-    client = MulticastClient(env, net, "client", directory)
+def test_prepare_msg_enables_stall_free_subscription(make_cluster):
+    cluster = make_cluster(["S1", "S2"])
+    replica = cluster.add_replica("r1", "G1", ["S1"])
+    env, client = cluster.env, cluster.client
 
     def scenario():
         yield env.timeout(0.5)   # S2 accumulates history (skips)
@@ -169,16 +135,16 @@ def test_prepare_msg_enables_stall_free_subscription():
             yield env.timeout(0.004)
 
     env.process(load())
-    env.run(until=2.0)
+    cluster.run(until=2.0)
     assert replica.subscriptions == ("S1", "S2")
-    assert len([p for p, s in delivered if s == "S1"]) == 300
+    assert len([p for p, s in cluster.delivered["r1"] if s == "S1"]) == 300
 
 
-def test_reconfiguration_stream_replacement():
+def test_reconfiguration_stream_replacement(make_cluster):
     """Fig. 5's scheme: subscribe to S2, immediately unsubscribe S1."""
-    env, net, directory = make_world(["S1", "S2"])
-    replica, delivered = make_replica(env, net, "r1", "G1", directory, ["S1"])
-    client = MulticastClient(env, net, "client", directory)
+    cluster = make_cluster(["S1", "S2"])
+    replica = cluster.add_replica("r1", "G1", ["S1"])
+    env, client = cluster.env, cluster.client
 
     def scenario():
         yield env.timeout(0.3)
@@ -192,7 +158,7 @@ def test_reconfiguration_stream_replacement():
             yield env.timeout(0.005)
 
     env.process(scenario())
-    env.run(until=2.0)
+    cluster.run(until=2.0)
     assert replica.subscriptions == ("S2",)
-    new_payloads = [p for p, s in delivered if s == "S2"]
+    new_payloads = [p for p, s in cluster.delivered["r1"] if s == "S2"]
     assert [i for _tag, i in new_payloads] == list(range(10))

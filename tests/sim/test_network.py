@@ -123,3 +123,133 @@ def test_message_counters():
     assert net.messages_sent == 2
     assert net.messages_delivered == 2
     assert net.bytes_delivered == 150
+
+
+# -- partitions vs in-flight traffic -----------------------------------
+
+
+def test_healed_partition_flushes_no_stale_envelopes():
+    """A message in flight when the partition forms must not pop out of
+    the link after the heal: it was dropped, and post-heal traffic
+    arrives in clean FIFO order with nothing stale in front of it."""
+    env, net = make_net(default_link=LinkSpec(latency=0.01))
+    net.send("a", "b", "in-flight")          # arrives t=0.01 ...
+    env.run(until=0.005)
+    net.partition({"a"}, {"b"})              # ... but the cut forms first
+    env.run(until=0.02)
+    assert len(net.host("b").inbox) == 0     # dropped at delivery time
+    assert net.messages_dropped == 1
+
+    net.unpartition({"a"}, {"b"})
+    for i in range(5):
+        net.send("a", "b", i)
+    env.run()
+    payloads = [e.payload for e in net.host("b").inbox.items]
+    assert payloads == list(range(5))        # FIFO, no stale envelope
+
+
+def test_unpartition_is_selective():
+    env, net = make_net()
+    net.partition({"a"}, {"b"})
+    net.partition({"a"}, {"c"})
+    net.unpartition({"a"}, {"b"})
+    net.send("a", "b", "through")
+    net.send("a", "c", "blocked")
+    env.run()
+    assert len(net.host("b").inbox) == 1
+    assert len(net.host("c").inbox) == 0
+    assert net.is_partitioned("a", "c")
+    assert not net.is_partitioned("a", "b")
+
+
+# -- crash/reboot vs in-flight traffic ---------------------------------
+
+
+def test_stale_envelope_dropped_across_reboot():
+    """An envelope in flight when the receiver crashes must not land in
+    the rebooted host's fresh inbox: the old incarnation's connections
+    died with it."""
+    env, net = make_net(default_link=LinkSpec(latency=0.01))
+    net.send("a", "b", "stale")              # arrives t=0.01
+    env.run(until=0.005)
+    net.host("b").crash()
+    net.host("b").recover()                  # reboot completes before arrival
+    env.run(until=0.02)
+    assert len(net.host("b").inbox) == 0
+    assert net.messages_dropped == 1
+
+    net.send("a", "b", "fresh")              # new incarnation's traffic flows
+    env.run()
+    assert [e.payload for e in net.host("b").inbox.items] == ["fresh"]
+
+
+# -- fault-rule overlays -----------------------------------------------
+
+
+def test_fault_rule_selectors():
+    from repro.sim.network import FaultRule
+
+    rule = FaultRule(src="a", dst=("b", "c"), loss=1.0)
+    assert rule.matches("a", "b")
+    assert rule.matches("a", "c")
+    assert not rule.matches("b", "a")
+    assert not rule.matches("c", "b")
+    anywhere = FaultRule(loss=1.0)
+    assert anywhere.matches("a", "b")
+    assert anywhere.matches("x", "y")
+
+
+def test_loss_window_installs_and_removes():
+    from repro.sim.network import FaultRule
+
+    env, net = make_net()
+    rule = net.add_fault(FaultRule(src="a", dst="b", loss=1.0))
+    net.send("a", "b", "lost")
+    net.send("a", "c", "other-link")         # rule does not match
+    env.run()
+    assert len(net.host("b").inbox) == 0
+    assert len(net.host("c").inbox) == 1
+
+    net.remove_fault(rule)
+    net.send("a", "b", "after")
+    env.run()
+    assert [e.payload for e in net.host("b").inbox.items] == ["after"]
+
+
+def test_delay_spike_adds_latency():
+    from repro.sim.network import FaultRule
+
+    env, net = make_net(default_link=LinkSpec(latency=0.001))
+    net.add_fault(FaultRule(extra_latency=0.05))
+    net.send("a", "b", "slow")
+    env.run()
+    envelope = net.host("b").inbox.items[0]
+    assert envelope.delivered_at == pytest.approx(0.051)
+
+
+def test_duplicate_rule_delivers_second_copy():
+    from repro.sim.network import FaultRule
+
+    env, net = make_net(default_link=LinkSpec(latency=0.001))
+    net.add_fault(FaultRule(duplicate=1.0))
+    net.send("a", "b", "twice")
+    env.run()
+    items = net.host("b").inbox.items
+    assert [e.payload for e in items] == ["twice", "twice"]
+    assert [e.duplicated for e in items] == [False, True]
+    assert net.messages_duplicated == 1
+    assert net.messages_delivered == 2
+
+
+def test_reorder_rule_bypasses_fifo():
+    from repro.sim.network import FaultRule
+
+    env, net = make_net(default_link=LinkSpec(latency=0.001))
+    net.add_fault(FaultRule(reorder=1.0, reorder_spread=0.05))
+    for i in range(50):
+        net.send("a", "b", i)
+    env.run()
+    payloads = [e.payload for e in net.host("b").inbox.items]
+    assert sorted(payloads) == list(range(50))   # nothing lost ...
+    assert payloads != list(range(50))           # ... but FIFO is broken
+    assert net.messages_reordered == 50
