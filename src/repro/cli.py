@@ -9,11 +9,19 @@ Usage::
     python -m repro all
     python -m repro faults list
     python -m repro faults run <scenario> [--seed 1] [--seeds N]
+    python -m repro trace <experiment> --out trace.jsonl [--categories ...]
+    python -m repro stats trace.jsonl
+    python -m repro validate-trace trace.jsonl
 
 Each experiment command runs on the simulator and prints the
 paper-vs-measured comparison plus sparkline series; ``faults`` runs a
 named fault-injection scenario (see ``docs/FAULTS.md``) under the
 always-on safety invariant checkers and prints the invariant report.
+``trace`` re-runs an experiment with the observability layer capturing
+protocol events to JSONL (see ``docs/OBSERVABILITY.md``); ``stats``
+reconstructs per-message causal lifecycles from such a trace and prints
+per-stage latency percentiles; ``validate-trace`` checks a trace
+against the event schema (the CI smoke test).
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from .harness.experiments import (
     run_reconfig,
     run_vertical,
 )
-from .harness.report import comparison_table, section, series_sparkline
+from .harness.report import comparison_table, plain_table, section, series_sparkline
 
 __all__ = ["main"]
 
@@ -147,6 +155,112 @@ def _faults(args) -> int:
     return 1 if failures else 0
 
 
+_TRACEABLE = ("fig3", "fig4", "fig5", "provisioning")
+
+
+def _trace(args) -> int:
+    from .obs import ALL_CATEGORIES, DEFAULT_CATEGORIES, JsonlSink, Tracer, installed
+
+    if args.categories == "default":
+        categories = DEFAULT_CATEGORIES
+    elif args.categories == "all":
+        categories = ALL_CATEGORIES
+    else:
+        categories = frozenset(
+            c.strip() for c in args.categories.split(",") if c.strip()
+        )
+        unknown = categories - ALL_CATEGORIES
+        if unknown:
+            print(
+                f"error: unknown categories {sorted(unknown)} "
+                f"(known: {sorted(ALL_CATEGORIES)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    # Re-parse the experiment through the real parser so its defaults
+    # (duration, prepare flags...) apply exactly as in a direct run.
+    sub_argv = [args.experiment, "--seed", str(args.seed)]
+    if args.duration is not None and args.experiment != "provisioning":
+        sub_argv += ["--duration", str(args.duration)]
+    sub_args = build_parser().parse_args(sub_argv)
+
+    sink = JsonlSink(args.out)
+    tracer = Tracer(sinks=[sink], categories=categories)
+    try:
+        with installed(tracer):
+            _DISPATCH[args.experiment](sub_args)
+    finally:
+        tracer.close()
+    print(f"\ntrace: {sink.written} events -> {args.out}")
+    return 0
+
+
+def _stats(args) -> int:
+    from .obs import STAGES, LifecycleIndex
+    from .sim.monitor import percentile
+
+    index = LifecycleIndex.from_jsonl(args.trace)
+    complete, delivered = index.coverage()
+    print(section(f"Trace statistics: {args.trace}"))
+    print(f"events               : {index.events_seen}")
+    print(f"messages observed    : {len(index.messages)}")
+    print(f"messages delivered   : {delivered}")
+    print(f"complete lifecycles  : {complete} "
+          f"(submit->deliver path fully reconstructed)")
+    samples = index.stage_samples()
+    rows = []
+    for stage in STAGES:
+        latencies = samples[stage]
+        if not latencies:
+            rows.append((stage, 0, "-", "-", "-", "-"))
+            continue
+        rows.append((
+            stage,
+            len(latencies),
+            f"{1000 * sum(latencies) / len(latencies):.2f}",
+            f"{1000 * percentile(latencies, 50):.2f}",
+            f"{1000 * percentile(latencies, 95):.2f}",
+            f"{1000 * percentile(latencies, 99):.2f}",
+        ))
+    print()
+    print(plain_table(
+        ("stage", "n", "mean ms", "p50 ms", "p95 ms", "p99 ms"), rows
+    ))
+    if index.subscriptions:
+        print()
+        sub_rows = []
+        for request_id in sorted(index.subscriptions):
+            timeline = index.subscriptions[request_id]
+            duration = timeline.switch_duration
+            points = sorted(set(timeline.merge_points.values()))
+            sub_rows.append((
+                request_id,
+                timeline.kind,
+                timeline.group or "-",
+                timeline.stream or "-",
+                "-" if duration is None else f"{1000 * duration:.2f}",
+                ",".join(str(p) for p in points) if points else "-",
+            ))
+        print(plain_table(
+            ("request", "kind", "group", "stream", "switch ms", "merge point"),
+            sub_rows,
+        ))
+    return 0
+
+
+def _validate_trace(args) -> int:
+    from .obs import SchemaError, validate_file
+
+    try:
+        count = validate_file(args.trace)
+    except SchemaError as exc:
+        print(f"INVALID: {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {args.trace}: {count} schema-valid events")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -185,8 +299,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="run this many consecutive seeds starting at --seed",
     )
 
+    trace = sub.add_parser(
+        "trace", help="run an experiment with trace capture to JSONL"
+    )
+    trace.add_argument("experiment", choices=_TRACEABLE,
+                       help="experiment to run under tracing")
+    trace.add_argument("--out", required=True, help="output JSONL path")
+    trace.add_argument("--duration", type=float, default=None,
+                       help="override the experiment's default duration")
+    trace.add_argument(
+        "--categories", default="default",
+        help="'default', 'all', or a comma-separated category list "
+             "(net/sim/dispatch are the opt-in firehoses)",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="per-stage latency report from a recorded trace"
+    )
+    stats.add_argument("trace", help="trace JSONL file (from `trace`)")
+
+    validate = sub.add_parser(
+        "validate-trace", help="check a trace against the event schema"
+    )
+    validate.add_argument("trace", help="trace JSONL file to validate")
+
     for name, p in sub.choices.items():
-        if name == "faults":
+        if name in ("faults", "stats", "validate-trace"):
             continue
         p.add_argument("--seed", type=int, default=1)
         if name in ("provisioning", "all"):
@@ -194,26 +332,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_DISPATCH = {
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "provisioning": _provisioning,
+    "faults": _faults,
+    "trace": _trace,
+    "stats": _stats,
+    "validate-trace": _validate_trace,
+}
+
+
+def _all(args) -> int:
+    """Run every experiment, each re-parsed through the real parser so
+    per-command defaults and flags apply exactly as in a direct run."""
+    parser = build_parser()
+    status = 0
+    for name in ("fig3", "fig4", "fig5", "provisioning"):
+        sub_args = parser.parse_args([name, "--seed", str(args.seed)])
+        code = _DISPATCH[name](sub_args)
+        if code:
+            status = code
+    return status
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "fig3":
-        _fig3(args)
-    elif args.command == "fig4":
-        _fig4(args)
-    elif args.command == "fig5":
-        _fig5(args)
-    elif args.command == "provisioning":
-        _provisioning(args)
-    elif args.command == "faults":
-        return _faults(args)
-    elif args.command == "all":
-        ns = argparse.Namespace(seed=args.seed, duration=60.0, prepare=False)
-        _fig3(ns)
-        _fig4(ns)
-        ns5 = argparse.Namespace(seed=args.seed, duration=70.0, no_prepare=False)
-        _fig5(ns5)
-        _provisioning(args)
-    return 0
+    if args.command == "all":
+        return _all(args)
+    handler = _DISPATCH[args.command]
+    return handler(args) or 0
 
 
 if __name__ == "__main__":

@@ -46,7 +46,14 @@ __all__ = [
 
 
 class InvariantViolation(AssertionError):
-    """A safety property of the protocol was violated."""
+    """A safety property of the protocol was violated.
+
+    ``msg_id`` carries the violating message (or request) id when the
+    broken property points at one -- the flight recorder uses it to
+    extract that message's causal history from the dump.
+    """
+
+    msg_id: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -159,6 +166,28 @@ class InvariantSuite:
 
     # -- the invariants -------------------------------------------------
 
+    def _violation(
+        self, message: str, msg_id: Optional[int] = None
+    ) -> InvariantViolation:
+        """Build the exception and report it to the tracer (if any).
+
+        The ``invariant.violation`` event lands in every attached sink --
+        in particular the flight recorder, right before the scenario
+        runner dumps it -- so the dump is self-describing.
+        """
+        for replica in self.replicas.values():
+            env = replica.env
+            tracer = getattr(env, "tracer", None)
+            if tracer is not None:
+                fields = {"message": message}
+                if msg_id is not None:
+                    fields["msg_id"] = msg_id
+                tracer.emit("invariant.violation", env.now, **fields)
+            break
+        exc = InvariantViolation(message)
+        exc.msg_id = msg_id
+        return exc
+
     def check(self) -> None:
         """Assert every invariant against the current logs."""
         self.checks_run += 1
@@ -174,9 +203,10 @@ class InvariantSuite:
             for record in log.records:
                 prev = last.get(record.stream)
                 if prev is not None and record.position <= prev:
-                    raise InvariantViolation(
+                    raise self._violation(
                         f"{name}: delivery positions of {record.stream} not "
-                        f"strictly increasing ({record.position} after {prev})"
+                        f"strictly increasing ({record.position} after {prev})",
+                        msg_id=record.msg_id,
                     )
                 last[record.stream] = record.position
 
@@ -189,18 +219,20 @@ class InvariantSuite:
                 key = (record.stream, record.position)
                 remembered = log.position_values.get(key)
                 if remembered is not None and remembered != record.msg_id:
-                    raise InvariantViolation(
+                    raise self._violation(
                         f"{name}: replay diverged at {key}: value "
-                        f"{record.msg_id} vs originally {remembered}"
+                        f"{record.msg_id} vs originally {remembered}",
+                        msg_id=record.msg_id,
                     )
                 log.position_values[key] = record.msg_id
                 seen = global_values.get(key)
                 if seen is None:
                     global_values[key] = (name, record.msg_id)
                 elif seen[1] != record.msg_id:
-                    raise InvariantViolation(
+                    raise self._violation(
                         f"stream agreement broken at {key}: {name} delivered "
-                        f"value {record.msg_id}, {seen[0]} delivered {seen[1]}"
+                        f"value {record.msg_id}, {seen[0]} delivered {seen[1]}",
+                        msg_id=record.msg_id,
                     )
 
     def _check_prefix_consistency(self) -> None:
@@ -219,10 +251,11 @@ class InvariantSuite:
                         i for i, (a, b) in enumerate(zip(seq, ref_seq))
                         if a != b
                     )
-                    raise InvariantViolation(
+                    raise self._violation(
                         f"group {group}: {name} diverges from {reference} at "
                         f"delivery #{divergence}: "
-                        f"{seq[divergence]} vs {ref_seq[divergence]}"
+                        f"{seq[divergence]} vs {ref_seq[divergence]}",
+                        msg_id=seq[divergence][2],
                     )
 
     def _check_acyclic_order(self) -> None:
@@ -256,9 +289,10 @@ class InvariantSuite:
                 for succ in iterator:
                     state = colour.get(succ, WHITE)
                     if state == GREY:
-                        raise InvariantViolation(
+                        raise self._violation(
                             f"acyclic order broken: delivery-order cycle "
-                            f"through message {succ}"
+                            f"through message {succ}",
+                            msg_id=succ,
                         )
                     if state == WHITE:
                         stack.append((node, iterator))
@@ -276,9 +310,10 @@ class InvariantSuite:
             for request_id, point in replica.merger.stats.merge_points.items():
                 prior = accumulated.get(request_id)
                 if prior is not None and prior != point:
-                    raise InvariantViolation(
+                    raise self._violation(
                         f"{name}: recovery recomputed merge point of request "
-                        f"{request_id} as {point}, originally {prior}"
+                        f"{request_id} as {point}, originally {prior}",
+                        msg_id=request_id,
                     )
                 accumulated[request_id] = point
         for group, members in self.groups.items():
@@ -289,10 +324,11 @@ class InvariantSuite:
                     if seen is None:
                         agreed[request_id] = (name, point)
                     elif seen[1] != point:
-                        raise InvariantViolation(
+                        raise self._violation(
                             f"group {group}: merge point of request "
                             f"{request_id} differs: {name} computed {point}, "
-                            f"{seen[0]} computed {seen[1]}"
+                            f"{seen[0]} computed {seen[1]}",
+                            msg_id=request_id,
                         )
 
     # -- convergence (liveness; checked only at the end of a run) -------
@@ -307,13 +343,13 @@ class InvariantSuite:
             ref_sigma = self.replicas[reference].subscriptions
             for name in members[1:]:
                 if self.replicas[name].subscriptions != ref_sigma:
-                    raise InvariantViolation(
+                    raise self._violation(
                         f"group {group} did not converge: Σ({name})="
                         f"{self.replicas[name].subscriptions} vs "
                         f"Σ({reference})={ref_sigma}"
                     )
                 if self.logs[name].sequence() != ref_seq:
-                    raise InvariantViolation(
+                    raise self._violation(
                         f"group {group} did not converge: {name} delivered "
                         f"{len(self.logs[name].records)} values, {reference} "
                         f"delivered {len(ref_seq)}"

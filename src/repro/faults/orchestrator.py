@@ -72,6 +72,9 @@ class FaultOrchestrator:
 
     def _note(self, text: str) -> None:
         self.events.append((self.env.now, text))
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit("fault.inject", self.env.now, action=text)
 
     # -- point actions --------------------------------------------------
 

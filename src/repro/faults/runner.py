@@ -13,23 +13,37 @@ timer during the run plus once at the end.
 The whole run is deterministic: one ``(scenario, seed)`` pair yields a
 bit-identical delivery history, reported as a digest so regressions --
 and chaos-found bugs -- reproduce exactly.
+
+Flight recording: every run keeps the most recent protocol trace events
+in a bounded :class:`repro.obs.recorder.FlightRecorder` ring buffer.
+When an invariant fires, the buffer is dumped to
+``$REPRO_FLIGHT_DIR`` (default ``flight-recordings/``) as
+``<scenario>-seed<seed>.jsonl`` -- the violation's causal history ships
+with the failure -- and the exception carries the dump path in its
+``dump_path`` attribute.
 """
 
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..harness.cluster import MulticastCluster
+from ..obs.recorder import FlightRecorder
+from ..obs.trace import Tracer, current_tracer, installed
 from ..sim.core import Interrupt
 from ..storage.checkpoint import CheckpointStore
-from .invariants import InvariantSuite
+from .invariants import InvariantSuite, InvariantViolation
 from .orchestrator import FaultOrchestrator
 from .scenarios import ScenarioSpec
 from .schedule import Schedule
 
 __all__ = ["ScenarioResult", "ScenarioRunner"]
+
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
+DEFAULT_FLIGHT_DIR = "flight-recordings"
 
 
 @dataclass
@@ -56,17 +70,30 @@ class ScenarioResult:
 class ScenarioRunner:
     """Builds, runs and checks one fault scenario."""
 
-    def __init__(self, spec: ScenarioSpec, seed: int = 1):
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: int = 1,
+        flight_capacity: int = 100_000,
+    ):
         self.spec = spec
         self.seed = seed
         self.schedule = spec.schedule(seed)
-        self.cluster = MulticastCluster(
-            streams=spec.streams,
-            seed=seed,
-            link_latency=spec.link_latency,
-            lam=spec.lam,
-            delta_t=spec.delta_t,
-        )
+        # Flight recorder: ride along on an externally installed tracer
+        # (e.g. the CLI's trace command), or install a private one just
+        # for the cluster construction window -- the environment adopts
+        # it then and keeps emitting to it for the whole run.
+        self.recorder = FlightRecorder(capacity=flight_capacity)
+        external = current_tracer()
+        if external is not None:
+            external.add_sink(self.recorder)
+            self.tracer = external
+            self.cluster = self._build_cluster()
+        else:
+            self.tracer = Tracer(sinks=[self.recorder])
+            with installed(self.tracer):
+                self.cluster = self._build_cluster()
+        spec = self.spec
         for stream in spec.failover:
             self.cluster.directory[stream].enable_failover()
         for group, names in spec.replica_names().items():
@@ -87,6 +114,35 @@ class ScenarioRunner:
                 for name in self.cluster.replicas
             },
         )
+
+    def _build_cluster(self) -> MulticastCluster:
+        return MulticastCluster(
+            streams=self.spec.streams,
+            seed=self.seed,
+            link_latency=self.spec.link_latency,
+            lam=self.spec.lam,
+            delta_t=self.spec.delta_t,
+        )
+
+    # -- flight recording -----------------------------------------------
+
+    def dump_flight_recording(self, violation: InvariantViolation) -> str:
+        """Write the ring buffer to the flight dir; returns the path."""
+        directory = os.environ.get(FLIGHT_DIR_ENV, DEFAULT_FLIGHT_DIR)
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(
+            directory, f"{self.spec.name}-seed{self.seed}.jsonl"
+        )
+        header = {
+            "ts": self.cluster.env.now,
+            "message": str(violation),
+            "scenario": self.spec.name,
+            "seed": self.seed,
+        }
+        if violation.msg_id is not None:
+            header["msg_id"] = violation.msg_id
+        self.recorder.dump(path, header=header)
+        return path
 
     # -- checkpointing (the crash-recovery model's stable storage) ------
 
@@ -177,17 +233,23 @@ class ScenarioRunner:
         env.process(self._check_loop())
         self._arm_control()
         self.orchestrator.execute(self.schedule)
-        env.run(until=spec.duration)
+        try:
+            env.run(until=spec.duration)
 
-        self.suite.check()
-        converged = True
-        if spec.expect_converged:
-            self.suite.assert_converged()
-        else:
-            try:
+            self.suite.check()
+            converged = True
+            if spec.expect_converged:
                 self.suite.assert_converged()
-            except AssertionError:
-                converged = False
+            else:
+                try:
+                    self.suite.assert_converged()
+                except AssertionError:
+                    converged = False
+        except InvariantViolation as violation:
+            # Ship the causal history with the failure: dump the flight
+            # recorder's ring buffer next to the violation and re-raise.
+            violation.dump_path = self.dump_flight_recording(violation)
+            raise
 
         delivered = {
             name: len(self.suite.logs[name].records)

@@ -62,6 +62,7 @@ class BroadcastReplica(MulticastReplica):
         return self.per_stream_ops[stream]
 
     def apply(self, value: AppValue, stream: str, position: int) -> None:
+        super().apply(value, stream, position)   # tracing + delivery taps
         self.delivered_ops.record()
         self.stream_counter(stream).record()
         done = self.cpu.request(1.0)
@@ -145,6 +146,13 @@ class BroadcastClient(Actor):
                     done = self.env.event()
                     self._pending[value.msg_id] = done
                     coordinator = self.directory[target].config.coordinator
+                    tracer = self.env.tracer
+                    if tracer is not None:
+                        tracer.emit(
+                            "client.submit", self.env.now, client=self.name,
+                            stream=target, msg_id=value.msg_id,
+                            size=self.value_size,
+                        )
                     self.send(coordinator, Propose(stream=target, token=value))
                     expiry = self.env.timeout(self.timeout)
                     yield AnyOf(self.env, [done, expiry])
@@ -152,9 +160,24 @@ class BroadcastClient(Actor):
                         break
                     self._pending.pop(value.msg_id, None)
                     self.timeouts += 1
+                    tracer = self.env.tracer
+                    if tracer is not None:
+                        tracer.emit(
+                            "client.timeout", self.env.now, client=self.name,
+                            stream=target, msg_id=value.msg_id,
+                        )
+                    metrics = self.env.metrics
+                    if metrics is not None:
+                        metrics.counter(self.name, "timeouts").record()
                     target = self._target_of(target)
                 self.ops.record()
                 self.latency.record(self.env.now - started)
+                tracer = self.env.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "client.ack", self.env.now, client=self.name,
+                        msg_id=value.msg_id, latency=self.env.now - started,
+                    )
                 if self.think_time > 0:
                     yield self.env.timeout(self.think_time)
         except Interrupt:

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-__all__ = ["comparison_table", "series_sparkline", "section"]
+__all__ = ["comparison_table", "plain_table", "series_sparkline", "section"]
 
 
 def section(title: str) -> str:
@@ -22,6 +22,26 @@ def comparison_table(rows: Iterable[tuple[str, object, object]]) -> str:
     for metric, paper, measured in rows:
         rendered.append((str(metric), _fmt(paper), _fmt(measured)))
     widths = [max(len(r[i]) for r in rendered) for i in range(3)]
+    lines = []
+    for index, row in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def plain_table(header: tuple[str, ...], rows: Iterable[tuple]) -> str:
+    """Render arbitrary rows under ``header`` as an aligned table."""
+    rendered = [tuple(str(cell) for cell in header)]
+    for row in rows:
+        rendered.append(tuple(_fmt(cell) for cell in row))
+    ncols = max(len(r) for r in rendered)
+    widths = [
+        max(len(r[i]) if i < len(r) else 0 for r in rendered)
+        for i in range(ncols)
+    ]
     lines = []
     for index, row in enumerate(rendered):
         lines.append(
@@ -53,11 +73,15 @@ def series_sparkline(
     if not values:
         return "(no data)"
     if len(values) > width:
-        # Downsample by averaging buckets.
-        bucket = len(values) / width
+        # Downsample by averaging buckets.  Bucket boundaries are
+        # computed once as integer edges: ``edges[i] < edges[i+1]``
+        # whenever len(values) > width, every sample falls in exactly
+        # one bucket, and the final edge is len(values) -- so the tail
+        # of the series is never silently dropped.
+        n = len(values)
+        edges = [i * n // width for i in range(width + 1)]
         values = [
-            sum(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))])
-            / max(1, len(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            sum(values[edges[i]:edges[i + 1]]) / (edges[i + 1] - edges[i])
             for i in range(width)
         ]
     top = maximum if maximum is not None else max(values)

@@ -114,6 +114,7 @@ class KvReplica(MulticastReplica):
     # -- command execution --------------------------------------------------------
 
     def apply(self, value: AppValue, stream: str, position: int) -> None:
+        super().apply(value, stream, position)   # tracing + delivery taps
         command = value.payload
         if isinstance(command, PutCmd):
             self._apply_put(command)

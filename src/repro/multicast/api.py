@@ -60,6 +60,12 @@ class MulticastClient(Actor):
         """Multicast ``payload`` to ``stream``; returns the value whose
         ``msg_id`` replies can be matched against."""
         value = AppValue(payload=payload, size=size, sender=self.name)
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "client.submit", self.env.now, client=self.name,
+                stream=stream, msg_id=value.msg_id, size=size,
+            )
         self.send(self._coordinator_of(stream), Propose(stream=stream, token=value))
         return value
 
@@ -76,6 +82,13 @@ class MulticastClient(Actor):
         if new_stream == via_stream:
             raise ValueError("new stream and via stream must differ")
         request_id = fresh_value_id()
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "control.subscribe", self.env.now, client=self.name,
+                group=group, stream=new_stream, via=via_stream,
+                request_id=request_id,
+            )
         for stream in (via_stream, new_stream):
             message = SubscribeMsg(
                 group=group, stream=new_stream, request_id=request_id
@@ -97,6 +110,13 @@ class MulticastClient(Actor):
         """
         request_id = fresh_value_id()
         carrier = via_stream if via_stream is not None else stream
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "control.unsubscribe", self.env.now, client=self.name,
+                group=group, stream=stream, via=carrier,
+                request_id=request_id,
+            )
         message = UnsubscribeMsg(group=group, stream=stream, request_id=request_id)
         self.send(
             self._coordinator_of(carrier),
@@ -108,6 +128,13 @@ class MulticastClient(Actor):
         """Send the §V-C hint: replicas of ``group`` should start
         recovering ``new_stream`` in the background."""
         request_id = fresh_value_id()
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "control.prepare", self.env.now, client=self.name,
+                group=group, stream=new_stream, via=via_stream,
+                request_id=request_id,
+            )
         message = PrepareMsg(group=group, stream=new_stream, request_id=request_id)
         self.send(
             self._coordinator_of(via_stream),

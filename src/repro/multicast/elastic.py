@@ -125,6 +125,8 @@ class ElasticMerger:
         stream_releaser: Optional[Callable[[str], None]] = None,
         on_subscription_change: Optional[Callable[[str, str], None]] = None,
         now: Callable[[], float] = lambda: 0.0,
+        owner: str = "",
+        env=None,
     ):
         self.group = group
         self.deliver = deliver
@@ -132,6 +134,11 @@ class ElasticMerger:
         self.stream_releaser = stream_releaser or (lambda name: None)
         self.on_subscription_change = on_subscription_change or (lambda k, s: None)
         self.now = now
+        # Trace identity: the replica hosting this merger, and the
+        # environment whose tracer subscription switches are reported to
+        # (None keeps the merger fully standalone, as in the unit tests).
+        self.owner = owner or f"merger:{group}"
+        self.env = env
 
         self.sigma: list[str] = []
         self._cursors: dict[str, StreamCursor] = {}
@@ -141,6 +148,16 @@ class ElasticMerger:
         self._handled_requests: set[int] = set()
         self._pumping = False
         self.stats = MergerStats()
+
+    def _emit(self, kind: str, **fields) -> None:
+        env = self.env
+        if env is None:
+            return
+        tracer = env.tracer
+        if tracer is not None:
+            tracer.emit(
+                kind, env.now, replica=self.owner, group=self.group, **fields
+            )
 
     # -- setup -------------------------------------------------------------
 
@@ -273,6 +290,10 @@ class ElasticMerger:
         self._pending = _PendingSubscription(
             stream=msg.stream, request_id=msg.request_id, started_at=self.now()
         )
+        self._emit(
+            "merge.subscribe.begin", stream=msg.stream,
+            request_id=msg.request_id,
+        )
 
     def _scan_step(self) -> bool:
         """Walk the new stream token-by-token until the subscribe request
@@ -372,6 +393,11 @@ class ElasticMerger:
         self.stats.per_stream_delivered.setdefault(pending.stream, 0)
         self._rr = 0   # restart from first(Σ), Algorithm 1 line 28
         self.stats.subscriptions += 1
+        self._emit(
+            "merge.subscribe.commit", stream=pending.stream,
+            request_id=pending.request_id, merge_point=pending.merge_ptr,
+            waited=self.now() - pending.started_at,
+        )
         self.on_subscription_change("subscribe", pending.stream)
         if self._deferred:
             self._begin_subscription(self._deferred.pop(0))
@@ -394,6 +420,9 @@ class ElasticMerger:
         self._rr %= len(self.sigma)
         del self._cursors[msg.stream]
         self.stats.unsubscriptions += 1
+        self._emit(
+            "merge.unsubscribe", stream=msg.stream, request_id=msg.request_id
+        )
         self.stream_releaser(msg.stream)
         self.on_subscription_change("unsubscribe", msg.stream)
 
@@ -404,5 +433,8 @@ class ElasticMerger:
             return
         if msg.stream in self._cursors or msg.stream in self.sigma:
             return
+        self._emit(
+            "merge.prepare", stream=msg.stream, request_id=msg.request_id
+        )
         log = self.stream_provider(msg.stream)
         self._cursors[msg.stream] = StreamCursor(msg.stream, log)

@@ -63,12 +63,24 @@ class MulticastReplica(Actor):
             stream_releaser=self._release_stream,
             on_subscription_change=self.on_subscription_change,
             now=lambda: env.now,
+            owner=name,
+            env=env,
         )
 
     # -- application hooks ---------------------------------------------------
 
     def apply(self, value: AppValue, stream: str, position: int) -> None:
         """Deliver one value to the application (override or callback)."""
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "replica.deliver", self.env.now, replica=self.name,
+                group=self.group, stream=stream, position=position,
+                msg_id=value.msg_id,
+            )
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.counter(self.name, "delivered").record()
         for observer in self._observers:
             observer(value, stream, position)
         if self._on_deliver is not None:
@@ -116,6 +128,24 @@ class MulticastReplica(Actor):
 
         def on_decided(instance: int, batch: Batch, _stream=stream, _log=log):
             _log.append_batch(batch, instance=instance)
+            tracer = self.env.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "learner.learned", self.env.now, replica=self.name,
+                    stream=_stream, instance=instance,
+                    msg_ids=[
+                        t.msg_id for t in batch.tokens
+                        if isinstance(t, AppValue)
+                    ],
+                    positions=batch.positions(),
+                )
+            metrics = self.env.metrics
+            if metrics is not None:
+                cursor = self.merger.positions().get(_stream)
+                if cursor is not None:
+                    metrics.gauge(self.name, "merge_lag").record(
+                        _log.frontier - cursor
+                    )
             self.merger.notify(_stream)
 
         def on_rebase(_first_instance: int, base_position: int, _log=log):
@@ -128,6 +158,7 @@ class MulticastReplica(Actor):
             send=self.send,
             on_rebase=on_rebase,
             start_instance=start_instance,
+            owner=self.name,
         )
         core.start()
         self.learners[stream] = core
@@ -178,12 +209,18 @@ class MulticastReplica(Actor):
                 "base_position": base,
                 "cursor": cursor,
             }
-        return {
+        checkpoint = {
             "sigma": list(self.merger.sigma),
             "streams": streams,
             "next_stream": self.merger.next_stream,
             "state": self.snapshot_state(),
         }
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.histogram(self.name, "checkpoint_bytes").record(
+                len(repr(checkpoint))
+            )
+        return checkpoint
 
     def recover_from_checkpoint(self, checkpoint: dict) -> None:
         """Rebuild this replica after a crash from ``checkpoint``.
@@ -204,6 +241,8 @@ class MulticastReplica(Actor):
             stream_releaser=self._release_stream,
             on_subscription_change=self.on_subscription_change,
             now=lambda: self.env.now,
+            owner=self.name,
+            env=self.env,
         )
         logs = {}
         positions = {}

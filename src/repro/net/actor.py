@@ -67,12 +67,18 @@ class Actor:
         """Crash the actor's host and halt its receive loop."""
         self.host.crash()
         self.stop()
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit("actor.crash", self.env.now, name=self.name)
 
     def recover(self) -> None:
         """Restart after a crash; volatile state must be rebuilt by the
         subclass (override and call ``super().recover()``)."""
         self.host.recover()
         self.start()
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit("actor.recover", self.env.now, name=self.name)
 
     @property
     def crashed(self) -> bool:
@@ -93,11 +99,26 @@ class Actor:
     # -- dispatch ------------------------------------------------------
 
     def _receive_loop(self):
+        # env.tracer / env.metrics are fixed for the environment's
+        # lifetime, so hoist the per-message guards out of the loop.
+        tracer = self.env.tracer
+        if tracer is not None and not tracer.wants_dispatch:
+            tracer = None
+        metrics = self.env.metrics
         while True:
             try:
                 envelope = yield self.host.inbox.get()
             except Interrupt:
                 return
+            if tracer is not None:
+                tracer.emit(
+                    "actor.dispatch", self.env.now, name=self.name,
+                    src=envelope.src, type=type(envelope.payload).__name__,
+                )
+            if metrics is not None:
+                metrics.gauge(self.name, "inbox_depth").record(
+                    len(self.host.inbox)
+                )
             self.dispatch(envelope.payload, envelope.src)
 
     def dispatch(self, payload: Any, src: str) -> None:

@@ -1,0 +1,71 @@
+"""Observability layer: tracing, lifecycle spans, metrics, flight recorder.
+
+See ``docs/OBSERVABILITY.md`` for the guide.  The usual entry points:
+
+- :class:`Tracer` + :func:`installed` -- capture structured protocol
+  events into sinks (:class:`JsonlSink`, :class:`ListSink`,
+  :class:`FlightRecorder`).
+- :class:`LifecycleIndex` -- correlate a trace into per-message causal
+  spans and per-stage latency samples.
+- :class:`MetricsRegistry` -- per-actor counters / gauges / histograms.
+- :func:`validate_file` -- JSONL trace schema validation (used by CI).
+
+``MetricsRegistry`` / ``Gauge`` are exposed lazily: ``obs.metrics``
+imports ``sim.monitor`` which imports ``sim.core``, and ``sim.core``
+imports ``obs.trace`` -- an eager import here would close that loop
+while ``sim.core`` is still initialising.
+"""
+
+from .recorder import FlightRecorder
+from .schema import EVENT_SCHEMA, SchemaError, validate_event, validate_file
+from .spans import STAGES, LifecycleIndex, MessageLifecycle, SubscriptionTimeline
+from .trace import (
+    ALL_CATEGORIES,
+    DEFAULT_CATEGORIES,
+    JsonlSink,
+    ListSink,
+    Tracer,
+    current_metrics,
+    current_tracer,
+    install,
+    install_metrics,
+    installed,
+    uninstall,
+    uninstall_metrics,
+)
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "DEFAULT_CATEGORIES",
+    "EVENT_SCHEMA",
+    "FlightRecorder",
+    "Gauge",
+    "JsonlSink",
+    "LifecycleIndex",
+    "ListSink",
+    "MessageLifecycle",
+    "MetricsRegistry",
+    "STAGES",
+    "SchemaError",
+    "SubscriptionTimeline",
+    "Tracer",
+    "current_metrics",
+    "current_tracer",
+    "install",
+    "install_metrics",
+    "installed",
+    "uninstall",
+    "uninstall_metrics",
+    "validate_event",
+    "validate_file",
+]
+
+_LAZY = {"MetricsRegistry", "Gauge"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from . import metrics
+
+        return getattr(metrics, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,157 @@
+"""Per-actor metrics registry built on the sim monitor primitives.
+
+:class:`MetricsRegistry` hands out named :class:`~repro.sim.monitor.Counter`
+(occurrences), :class:`Gauge` (sampled instantaneous values, e.g. inbox
+depth or merge lag) and :class:`~repro.sim.monitor.Series` histograms
+(distributions, e.g. checkpoint sizes) keyed by ``(actor, metric)``.
+Instrumented code paths ask for metrics lazily::
+
+    metrics = self.env.metrics
+    if metrics is not None:
+        metrics.counter(self.name, "retransmits").record()
+
+so that -- like the tracer -- the default (no registry installed) costs
+one attribute load and an ``is None`` test.
+
+All instruments are created in *windowed* mode by default (see the
+``window`` / ``max_samples`` knobs of the monitor primitives), so a
+long chaos run's registry stays bounded in memory.
+
+Install a registry process-wide with
+:func:`repro.obs.trace.install_metrics` (or ``installed(metrics=...)``)
+before creating the environment; the environment adopts it at
+construction and binds it to virtual time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.monitor import Counter, Series, percentile
+from .trace import install_metrics, uninstall_metrics  # re-export convenience
+
+__all__ = ["Gauge", "MetricsRegistry", "install_metrics", "uninstall_metrics"]
+
+
+class Gauge:
+    """A sampled instantaneous value (last-write-wins semantics).
+
+    Backed by a :class:`~repro.sim.monitor.Series` so history within the
+    retention window is available for sparklines and percentiles.
+    """
+
+    def __init__(self, env, name: str = "", max_samples: Optional[int] = None):
+        self.series = Series(env, name, max_samples=max_samples)
+        self._last: Optional[float] = None
+        self.peak: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self._last = value
+        if self.peak is None or value > self.peak:
+            self.peak = value
+        self.series.record(value)
+
+    @property
+    def value(self) -> Optional[float]:
+        """Most recently recorded value (None before the first sample)."""
+        return self._last
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms keyed by ``(actor, metric)``."""
+
+    def __init__(
+        self,
+        env=None,
+        window: Optional[float] = None,
+        max_samples: Optional[int] = 65536,
+    ):
+        self.env = env
+        self.window = window
+        self.max_samples = max_samples
+        self._counters: dict[tuple[str, str], Counter] = {}
+        self._gauges: dict[tuple[str, str], Gauge] = {}
+        self._histograms: dict[tuple[str, str], Series] = {}
+
+    def bind(self, env) -> None:
+        """Adopt ``env`` as the clock source (first environment wins)."""
+        if self.env is None:
+            self.env = env
+
+    def _require_env(self):
+        if self.env is None:
+            raise RuntimeError(
+                "metrics registry is not bound to an environment yet"
+            )
+        return self.env
+
+    # -- instruments -----------------------------------------------------
+
+    def counter(self, actor: str, name: str) -> Counter:
+        key = (actor, name)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(
+                self._require_env(), f"{actor}:{name}", window=self.window,
+                max_samples=self.max_samples,
+            )
+        return instrument
+
+    def gauge(self, actor: str, name: str) -> Gauge:
+        key = (actor, name)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(
+                self._require_env(), f"{actor}:{name}",
+                max_samples=self.max_samples,
+            )
+        return instrument
+
+    def histogram(self, actor: str, name: str) -> Series:
+        key = (actor, name)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Series(
+                self._require_env(), f"{actor}:{name}", window=self.window,
+                max_samples=self.max_samples,
+            )
+        return instrument
+
+    # -- introspection ---------------------------------------------------
+
+    def actors(self) -> list[str]:
+        names = {actor for actor, _ in self._counters}
+        names.update(actor for actor, _ in self._gauges)
+        names.update(actor for actor, _ in self._histograms)
+        return sorted(names)
+
+    def summary_rows(self) -> list[tuple[str, str, str, str]]:
+        """``(actor, metric, kind, rendered value)`` rows, sorted.
+
+        Counters render their lifetime total, gauges their last/peak
+        samples, histograms mean and p95 of the retained samples.
+        """
+        rows: list[tuple[str, str, str, str]] = []
+        for (actor, name), counter in self._counters.items():
+            rows.append((actor, name, "counter", f"total={counter.total:g}"))
+        for (actor, name), gauge in self._gauges.items():
+            if gauge.value is None:
+                rendered = "(no samples)"
+            else:
+                rendered = f"last={gauge.value:g} peak={gauge.peak:g}"
+            rows.append((actor, name, "gauge", rendered))
+        for (actor, name), series in self._histograms.items():
+            if len(series) == 0:
+                rendered = "(no samples)"
+            else:
+                values = series.values
+                rendered = (
+                    f"n={len(values)} mean={sum(values) / len(values):.4g} "
+                    f"p95={percentile(values, 95):.4g}"
+                )
+            rows.append((actor, name, "histogram", rendered))
+        rows.sort()
+        return rows

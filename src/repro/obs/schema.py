@@ -1,0 +1,144 @@
+"""Trace event schema: the catalogue of kinds and their required fields.
+
+Every event is one JSON object per line (JSONL).  All events carry the
+envelope fields ``ts`` (virtual time, float), ``seq`` (monotone int),
+``kind`` (string from :data:`EVENT_SCHEMA`) and ``cat`` (category).
+:data:`EVENT_SCHEMA` maps each kind to the payload fields it must also
+carry; extra fields are allowed (the schema is open for forward
+compatibility), missing required fields are an error.
+
+:func:`validate_event` / :func:`validate_file` are what the CI trace
+smoke test runs against the output of ``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, TextIO, Union
+
+__all__ = ["EVENT_SCHEMA", "SchemaError", "validate_event", "validate_file"]
+
+
+class SchemaError(ValueError):
+    """A trace event does not match the schema."""
+
+
+# kind -> required payload fields (beyond the ts/seq/kind/cat envelope).
+EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
+    # simulation kernel (category "sim"; opt-in)
+    "sim.process": (),
+    # network wire level (category "net"; opt-in)
+    "net.send": ("src", "dst", "type", "size"),
+    "net.drop": ("src", "dst", "type", "reason"),
+    "net.deliver": ("src", "dst", "type", "latency", "inbox_depth"),
+    "net.duplicate": ("src", "dst", "type"),
+    # network fault state changes (category "fault"; on by default)
+    "net.partition": ("side_a", "side_b"),
+    "net.unpartition": ("side_a", "side_b"),
+    "net.heal": (),
+    # actor lifecycle / dispatch
+    "actor.crash": ("name",),
+    "actor.recover": ("name",),
+    "actor.dispatch": ("name", "src", "type"),     # category "dispatch"; opt-in
+    # client-side message lifecycle
+    "client.submit": ("client", "stream", "msg_id", "size"),
+    "client.ack": ("client", "msg_id", "latency"),
+    "client.timeout": ("client", "stream", "msg_id"),
+    # dynamic-subscription control plane
+    "control.subscribe": ("client", "group", "stream", "via", "request_id"),
+    "control.unsubscribe": ("client", "group", "stream", "request_id"),
+    "control.prepare": ("client", "group", "stream", "via", "request_id"),
+    # coordinator (per-stream leader)
+    "coord.phase1": ("coordinator", "stream", "ballot"),
+    "coord.lead": ("coordinator", "stream", "ballot"),
+    "coord.propose": ("coordinator", "stream", "type"),
+    "coord.skip": ("coordinator", "stream", "count"),
+    "coord.phase2": ("coordinator", "stream", "instance", "msg_ids", "positions"),
+    "coord.retransmit": ("coordinator", "stream", "instance"),
+    "coord.decide": ("coordinator", "stream", "instance", "positions"),
+    # learner tasks
+    "learner.learned": ("replica", "stream", "instance", "msg_ids", "positions"),
+    "learner.recover.request": ("owner", "stream", "from_instance", "to_instance"),
+    "learner.recover.reply": ("owner", "stream", "decided", "trimmed_below"),
+    "learner.gap_repair": ("owner", "stream", "from_instance", "to_instance"),
+    # deterministic merge (dMerge)
+    "merge.subscribe.begin": ("replica", "group", "stream", "request_id"),
+    "merge.subscribe.commit": (
+        "replica", "group", "stream", "request_id", "merge_point", "waited",
+    ),
+    "merge.unsubscribe": ("replica", "group", "stream", "request_id"),
+    "merge.prepare": ("replica", "group", "stream", "request_id"),
+    # replica delivery (the end of a message's life)
+    "replica.deliver": ("replica", "group", "stream", "position", "msg_id"),
+    # fault injection & invariant checking
+    "fault.inject": ("action",),
+    "invariant.violation": ("message",),
+    # flight-recorder dump metadata
+    "meta.violation": ("message",),
+}
+
+_ENVELOPE = ("ts", "seq", "kind", "cat")
+
+
+def validate_event(event: dict) -> None:
+    """Raise :class:`SchemaError` unless ``event`` matches the schema."""
+    if not isinstance(event, dict):
+        raise SchemaError(f"event is not an object: {event!r}")
+    for key in _ENVELOPE:
+        if key not in event:
+            raise SchemaError(f"event missing envelope field {key!r}: {event!r}")
+    if not isinstance(event["ts"], (int, float)):
+        raise SchemaError(f"ts is not a number: {event!r}")
+    if not isinstance(event["seq"], int):
+        raise SchemaError(f"seq is not an integer: {event!r}")
+    kind = event["kind"]
+    try:
+        required = EVENT_SCHEMA[kind]
+    except KeyError:
+        raise SchemaError(f"unknown event kind {kind!r}") from None
+    for field in required:
+        if field not in event:
+            raise SchemaError(
+                f"{kind} event missing required field {field!r}: {event!r}"
+            )
+
+
+def validate_file(source: Union[str, TextIO, Iterable[str]]) -> int:
+    """Validate a JSONL trace; returns the number of events checked.
+
+    ``source`` is a path, an open text file, or an iterable of lines.
+    Raises :class:`SchemaError` (with the line number) on the first
+    invalid line; an empty trace is an error -- a run that traced
+    nothing should fail loudly.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return validate_file(handle)
+    count = 0
+    last_seq = None
+    for lineno, line in enumerate(_lines(source), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"line {lineno}: invalid JSON: {exc}") from None
+        try:
+            validate_event(event)
+        except SchemaError as exc:
+            raise SchemaError(f"line {lineno}: {exc}") from None
+        if last_seq is not None and event["seq"] <= last_seq:
+            raise SchemaError(
+                f"line {lineno}: seq {event['seq']} not monotonically "
+                f"increasing (previous {last_seq})"
+            )
+        last_seq = event["seq"]
+        count += 1
+    if count == 0:
+        raise SchemaError("trace contains no events")
+    return count
+
+
+def _lines(source: Union[TextIO, Iterable[str]]) -> Iterator[str]:
+    for line in source:
+        yield line

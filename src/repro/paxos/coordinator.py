@@ -44,6 +44,13 @@ from .types import AppValue, Batch, SkipToken
 __all__ = ["CoordinatorActor"]
 
 
+def _batch_msg_ids(batch: Batch) -> list:
+    """Application message ids carried by a batch (skips excluded)."""
+    return [
+        token.msg_id for token in batch.tokens if isinstance(token, AppValue)
+    ]
+
+
 class CoordinatorActor(Actor):
     """The leader of one Paxos stream."""
 
@@ -153,6 +160,12 @@ class CoordinatorActor(Actor):
 
     def _run_phase1(self) -> None:
         self._phase1_promises: dict[str, Phase1b] = {}
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "coord.phase1", self.env.now, coordinator=self.name,
+                stream=self.stream, ballot=self.ballot,
+            )
         message = Phase1a(
             stream=self.stream, ballot=self.ballot, from_instance=self.next_instance
         )
@@ -177,6 +190,13 @@ class CoordinatorActor(Actor):
                 if instance not in adopted or vrnd > adopted[instance][0]:
                     adopted[instance] = (vrnd, batch)
         self.leading = True
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "coord.lead", self.env.now, coordinator=self.name,
+                stream=self.stream, ballot=self.ballot,
+                adopted=len(adopted),
+            )
         for instance in sorted(adopted):
             _vrnd, batch = adopted[instance]
             self.next_instance = max(self.next_instance, instance + 1)
@@ -188,6 +208,20 @@ class CoordinatorActor(Actor):
     def propose(self, token) -> None:
         """Submit one token (value / control message) for ordering."""
         self.positions_proposed += token.positions()
+        tracer = self.env.tracer
+        if tracer is not None:
+            fields = {
+                "coordinator": self.name,
+                "stream": self.stream,
+                "type": type(token).__name__,
+            }
+            msg_id = getattr(token, "msg_id", None)
+            if msg_id is not None:
+                fields["msg_id"] = msg_id
+            request_id = getattr(token, "request_id", None)
+            if request_id is not None:
+                fields["request_id"] = request_id
+            tracer.emit("coord.propose", self.env.now, **fields)
         self.pending.append(token)
         self._pump_proposals()
 
@@ -334,6 +368,13 @@ class CoordinatorActor(Actor):
                 "batch": batch, "sent_at": self.env.now, "pending_cpu": False,
             }
         self.outstanding[instance]["acks"] = set()
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "coord.phase2", self.env.now, coordinator=self.name,
+                stream=self.stream, instance=instance,
+                msg_ids=_batch_msg_ids(batch), positions=batch.positions(),
+            )
         if self.config.ring_mode:
             message = RingAccept(
                 stream=self.stream,
@@ -377,6 +418,13 @@ class CoordinatorActor(Actor):
         self.decided_instances.add(instance)
         self.outstanding.pop(instance, None)
         self.positions_decided += batch.positions()
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "coord.decide", self.env.now, coordinator=self.name,
+                stream=self.stream, instance=instance,
+                positions=batch.positions(),
+            )
         self._pump_proposals()
 
     # -- skips ---------------------------------------------------------------
@@ -401,6 +449,15 @@ class CoordinatorActor(Actor):
                 continue
             deficit = int(self.config.lam * self.env.now) - self.positions_proposed
             if deficit > 0:
+                tracer = self.env.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "coord.skip", self.env.now, coordinator=self.name,
+                        stream=self.stream, count=deficit,
+                    )
+                metrics = self.env.metrics
+                if metrics is not None:
+                    metrics.counter(self.name, "skip_positions").record(deficit)
                 self.propose(SkipToken(count=deficit))
 
     # -- retransmission ---------------------------------------------------------
@@ -417,6 +474,16 @@ class CoordinatorActor(Actor):
             for instance, info in sorted(self.outstanding.items()):
                 sent_at = info.get("sent_at")
                 if sent_at is not None and sent_at <= deadline:
+                    tracer = self.env.tracer
+                    if tracer is not None:
+                        tracer.emit(
+                            "coord.retransmit", self.env.now,
+                            coordinator=self.name, stream=self.stream,
+                            instance=instance,
+                        )
+                    metrics = self.env.metrics
+                    if metrics is not None:
+                        metrics.counter(self.name, "retransmits").record()
                     self._send_phase2(instance, info["batch"])
                     info["sent_at"] = self.env.now
 

@@ -45,6 +45,7 @@ class LearnerCore:
         gap_timeout: float = 0.2,
         on_rebase: Optional[Callable[[int, int], None]] = None,
         start_instance: int = 0,
+        owner: str = "",
     ):
         self.env = env
         self.config = config
@@ -52,6 +53,8 @@ class LearnerCore:
         self.on_deliver = on_deliver
         self.send = send
         self.gap_timeout = gap_timeout
+        # Trace/metrics identity of the replica hosting this learner task.
+        self.owner = owner or f"learner:{config.name}"
         # Called as on_rebase(first_instance, base_position) when the
         # acceptors' logs were trimmed below our start: the token log
         # must be seeded at the trimmed prefix's position.
@@ -117,6 +120,16 @@ class LearnerCore:
         self._recover_acceptor_rr += 1
         self._recovery_requested_at = self.env.now
         self._recovery_page_start = from_instance
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "learner.recover.request", self.env.now, owner=self.owner,
+                stream=self.stream, from_instance=from_instance,
+                to_instance=to_instance, acceptor=acceptor,
+            )
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.counter(self.owner, "catch_up_pages").record()
         self.send(
             acceptor,
             RecoverRequest(
@@ -127,6 +140,13 @@ class LearnerCore:
         )
 
     def on_recover_reply(self, msg: RecoverReply, src: str) -> None:
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "learner.recover.reply", self.env.now, owner=self.owner,
+                stream=self.stream, decided=len(msg.decided),
+                trimmed_below=msg.trimmed_below,
+            )
         if msg.trimmed_below > self.next_instance:
             if self.delivered_instances > 0:
                 raise RuntimeError(
@@ -189,6 +209,16 @@ class LearnerCore:
                 and self.env.now - self._gap_since >= self.gap_timeout
             ):
                 gap_end = min(self.buffer)
+                tracer = self.env.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "learner.gap_repair", self.env.now, owner=self.owner,
+                        stream=self.stream, from_instance=self.next_instance,
+                        to_instance=gap_end,
+                    )
+                metrics = self.env.metrics
+                if metrics is not None:
+                    metrics.counter(self.owner, "gap_repairs").record()
                 self._request_recovery(self.next_instance, gap_end)
                 self._gap_since = self.env.now
 

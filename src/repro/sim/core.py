@@ -25,6 +25,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.trace import current_metrics, current_tracer
+
 __all__ = [
     "Environment",
     "Event",
@@ -314,6 +316,13 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
+        # Observability: adopt the process-wide tracer / metrics registry
+        # at construction (see repro.obs.trace).  Both default to None;
+        # probe sites guard with a single `is None` test.
+        self.tracer = current_tracer()
+        self.metrics = current_metrics()
+        if self.metrics is not None:
+            self.metrics.bind(self)
 
     @property
     def now(self) -> float:
@@ -333,6 +342,13 @@ class Environment:
 
     def process(self, generator: Generator) -> Process:
         """Start a new process running ``generator``."""
+        tracer = self.tracer
+        if tracer is not None and tracer.wants_sim:
+            tracer.emit(
+                "sim.process",
+                self._now,
+                name=getattr(generator, "__name__", repr(generator)),
+            )
         return Process(self, generator)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:

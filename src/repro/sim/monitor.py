@@ -5,6 +5,26 @@ and CPU utilisation against runtime.  :class:`Counter` accumulates
 discrete occurrences (operations, bytes) and can be folded into
 per-interval rates; :class:`Series` records raw ``(time, value)``
 samples; :class:`UtilisationProbe` integrates busy time of a server.
+
+Retention bounds
+----------------
+By default probes keep every sample forever, which is right for the
+paper's fixed-duration figure runs but grows without bound under long
+chaos sweeps and the always-on metrics registry
+(:mod:`repro.obs.metrics`).  Both :class:`Counter` and :class:`Series`
+therefore take optional retention bounds:
+
+``window`` (seconds of virtual time)
+    Samples older than ``now - window`` are discarded as new samples
+    arrive.
+``max_samples`` (count)
+    At most the newest ``max_samples`` samples are retained.
+
+``Counter.total`` remains the *lifetime* total regardless of retention;
+range queries (``rate_between``, ``between``, ``percentile``...) only
+see retained samples.  Eviction is amortised O(1) per record: a logical
+start offset advances cheaply and the backing lists are compacted only
+once the dead prefix dominates.
 """
 
 from __future__ import annotations
@@ -16,6 +36,10 @@ from typing import Iterable, Optional, Sequence
 from .core import Environment
 
 __all__ = ["Counter", "Series", "UtilisationProbe", "percentile"]
+
+# Compact the backing lists only when at least this many dead slots
+# exist *and* they outnumber the live ones (amortised O(1) eviction).
+_COMPACT_MIN = 256
 
 
 def percentile(samples: Sequence[float], pct: float) -> float:
@@ -33,32 +57,98 @@ def percentile(samples: Sequence[float], pct: float) -> float:
     return ordered[rank - 1]
 
 
-class Counter:
+class _BoundedSamples:
+    """Shared retention machinery for Counter and Series."""
+
+    def __init__(
+        self,
+        env: Environment,
+        window: Optional[float],
+        max_samples: Optional[int],
+    ):
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive or None")
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError("max_samples must be positive or None")
+        self.env = env
+        self.window = window
+        self.max_samples = max_samples
+        self._times: list[float] = []
+        self._start = 0                 # first live index
+
+    def __len__(self) -> int:
+        return len(self._times) - self._start
+
+    def _columns(self) -> tuple[list, ...]:
+        """The sample columns to evict/compact alongside ``_times``."""
+        return (self._times,)
+
+    def _evict(self) -> None:
+        """Advance the live-start past expired/overflow samples."""
+        start = self._start
+        if self.window is not None:
+            cutoff = self.env.now - self.window
+            start = bisect.bisect_left(self._times, cutoff, start)
+        if self.max_samples is not None:
+            overflow = len(self._times) - start - self.max_samples
+            if overflow > 0:
+                start += overflow
+        if start == self._start:
+            return
+        self._start = start
+        if start >= _COMPACT_MIN and start * 2 >= len(self._times):
+            for column in self._columns():
+                del column[:start]
+            self._start = 0
+
+    def _lo(self, t: float) -> int:
+        return max(bisect.bisect_left(self._times, t), self._start)
+
+    def _hi(self, t: float) -> int:
+        return max(bisect.bisect_left(self._times, t), self._start)
+
+
+class Counter(_BoundedSamples):
     """Counts timestamped occurrences, e.g. completed operations."""
 
-    def __init__(self, env: Environment, name: str = ""):
-        self.env = env
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "",
+        window: Optional[float] = None,
+        max_samples: Optional[int] = None,
+    ):
+        super().__init__(env, window, max_samples)
         self.name = name
-        self._times: list[float] = []
         self._weights: list[float] = []
         self._total = 0.0
+
+    def _columns(self):
+        return (self._times, self._weights)
 
     def record(self, weight: float = 1.0) -> None:
         """Record ``weight`` occurrences at the current instant."""
         self._times.append(self.env.now)
         self._weights.append(weight)
         self._total += weight
+        if self.window is not None or self.max_samples is not None:
+            self._evict()
 
     @property
     def total(self) -> float:
+        """Lifetime total, unaffected by retention bounds."""
         return self._total
 
     def rate_between(self, start: float, end: float) -> float:
-        """Average rate (occurrences / time unit) over ``[start, end)``."""
+        """Average rate (occurrences / time unit) over ``[start, end)``.
+
+        Only retained samples contribute (see the module notes on
+        retention bounds).
+        """
         if end <= start:
             raise ValueError("end must be after start")
-        lo = bisect.bisect_left(self._times, start)
-        hi = bisect.bisect_left(self._times, end)
+        lo = self._lo(start)
+        hi = self._hi(end)
         return sum(self._weights[lo:hi]) / (end - start)
 
     def interval_rates(
@@ -81,43 +171,51 @@ class Counter:
         return points
 
 
-class Series:
+class Series(_BoundedSamples):
     """Raw ``(time, value)`` samples, e.g. per-request latencies."""
 
-    def __init__(self, env: Environment, name: str = ""):
-        self.env = env
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "",
+        window: Optional[float] = None,
+        max_samples: Optional[int] = None,
+    ):
+        super().__init__(env, window, max_samples)
         self.name = name
-        self._times: list[float] = []
         self._values: list[float] = []
+
+    def _columns(self):
+        return (self._times, self._values)
 
     def record(self, value: float) -> None:
         self._times.append(self.env.now)
         self._values.append(value)
-
-    def __len__(self) -> int:
-        return len(self._values)
+        if self.window is not None or self.max_samples is not None:
+            self._evict()
 
     @property
     def values(self) -> tuple[float, ...]:
-        return tuple(self._values)
+        return tuple(self._values[self._start:])
 
     @property
     def times(self) -> tuple[float, ...]:
-        return tuple(self._times)
+        return tuple(self._times[self._start:])
 
     def between(self, start: float, end: float) -> list[float]:
-        """Values sampled in ``[start, end)``."""
-        lo = bisect.bisect_left(self._times, start)
-        hi = bisect.bisect_left(self._times, end)
+        """Values sampled in ``[start, end)`` (retained samples only)."""
+        lo = self._lo(start)
+        hi = self._hi(end)
         return self._values[lo:hi]
 
     def percentile(self, pct: float) -> float:
-        return percentile(self._values, pct)
+        return percentile(self.values, pct)
 
     def mean(self) -> float:
-        if not self._values:
+        values = self.values
+        if not values:
             raise ValueError("no samples")
-        return sum(self._values) / len(self._values)
+        return sum(values) / len(values)
 
 
 class UtilisationProbe:

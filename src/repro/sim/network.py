@@ -140,6 +140,12 @@ class Network:
         default_link: Optional[LinkSpec] = None,
     ):
         self.env = env
+        # env.tracer is fixed at environment construction; pre-apply the
+        # wants_net gate so every per-packet probe is one attribute load.
+        tracer = env.tracer
+        self._net_tracer = (
+            tracer if tracer is not None and tracer.wants_net else None
+        )
         self._rng = (rng or RngRegistry(0)).stream("network")
         self.default_link = default_link or LinkSpec()
         self._hosts: dict[str, Host] = {}
@@ -187,6 +193,12 @@ class Network:
         for a in group_a:
             for b in group_b:
                 self._partitions.add(frozenset((a, b)))
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.partition", self.env.now, cat="fault",
+                side_a=sorted(group_a), side_b=sorted(group_b),
+            )
 
     def unpartition(self, group_a: set[str], group_b: set[str]) -> None:
         """Heal exactly the cut between the two host groups.
@@ -197,10 +209,19 @@ class Network:
         for a in group_a:
             for b in group_b:
                 self._partitions.discard(frozenset((a, b)))
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.unpartition", self.env.now, cat="fault",
+                side_a=sorted(group_a), side_b=sorted(group_b),
+            )
 
     def heal(self) -> None:
         """Remove all partitions."""
         self._partitions.clear()
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit("net.heal", self.env.now, cat="fault")
 
     def is_partitioned(self, a: str, b: str) -> bool:
         return frozenset((a, b)) in self._partitions
@@ -219,6 +240,14 @@ class Network:
 
     # -- sending ------------------------------------------------------
 
+    def _trace_drop(self, src: str, dst: str, payload: Any, reason: str) -> None:
+        tracer = self._net_tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.drop", self.env.now, src=src, dst=dst,
+                type=type(payload).__name__, reason=reason,
+            )
+
     def send(self, src: str, dst: str, payload: Any, size: int = 128) -> None:
         """Send ``payload`` from ``src`` to ``dst``.
 
@@ -233,15 +262,29 @@ class Network:
         receiver = self.host(dst)
         if sender.crashed or receiver.crashed or self.is_partitioned(src, dst):
             self.messages_dropped += 1
+            reason = (
+                "src_crashed" if sender.crashed
+                else "dst_crashed" if receiver.crashed
+                else "partitioned"
+            )
+            self._trace_drop(src, dst, payload, reason)
             return
+        tracer = self._net_tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.send", self.env.now, src=src, dst=dst,
+                type=type(payload).__name__, size=size,
+            )
         spec = self.link(src, dst)
         if spec.loss > 0 and self._rng.random() < spec.loss:
             self.messages_dropped += 1
+            self._trace_drop(src, dst, payload, "link_loss")
             return
         rules = [r for r in self._fault_rules if r.matches(src, dst)]
         for rule in rules:
             if rule.loss > 0 and self._rng.random() < rule.loss:
                 self.messages_dropped += 1
+                self._trace_drop(src, dst, payload, "fault_loss")
                 return
         now = self.env.now
         key = (src, dst)
@@ -288,6 +331,11 @@ class Network:
                     dst_incarnation=receiver.incarnation, duplicated=True,
                 )
                 self.messages_duplicated += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "net.duplicate", now, src=src, dst=dst,
+                        type=type(payload).__name__,
+                    )
                 self.env.call_later(arrival + offset - now, self._deliver, copy)
                 break   # at most one injected copy per message
 
@@ -300,6 +348,9 @@ class Network:
         receiver = self._hosts.get(envelope.dst)
         if receiver is None or receiver.crashed:
             self.messages_dropped += 1
+            self._trace_drop(
+                envelope.src, envelope.dst, envelope.payload, "dst_crashed"
+            )
             return
         if receiver.incarnation != envelope.dst_incarnation:
             # The receiver rebooted while this envelope was in flight:
@@ -307,10 +358,25 @@ class Network:
             # must not leak into the new incarnation's inbox (it could
             # arrive out of FIFO order relative to post-reboot traffic).
             self.messages_dropped += 1
+            self._trace_drop(
+                envelope.src, envelope.dst, envelope.payload, "stale_incarnation"
+            )
             return
         if self.is_partitioned(envelope.src, envelope.dst):
             self.messages_dropped += 1
+            self._trace_drop(
+                envelope.src, envelope.dst, envelope.payload, "partitioned"
+            )
             return
         self.messages_delivered += 1
         self.bytes_delivered += envelope.size
         receiver.inbox.put_nowait(envelope)
+        tracer = self._net_tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.deliver", self.env.now,
+                src=envelope.src, dst=envelope.dst,
+                type=type(envelope.payload).__name__,
+                latency=self.env.now - envelope.sent_at,
+                inbox_depth=len(receiver.inbox),
+            )

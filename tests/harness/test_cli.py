@@ -34,3 +34,127 @@ def test_fig5_no_prepare_flag():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["fig9"])
+
+
+# -- observability subcommands ------------------------------------------------
+
+
+def test_trace_command_parses():
+    args = build_parser().parse_args(
+        ["trace", "fig3", "--out", "t.jsonl", "--duration", "5",
+         "--categories", "all", "--seed", "4"]
+    )
+    assert args.command == "trace"
+    assert args.experiment == "fig3"
+    assert args.out == "t.jsonl"
+    assert args.duration == 5.0
+    assert args.categories == "all"
+    assert args.seed == 4
+
+
+def test_trace_requires_known_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "faults", "--out", "t.jsonl"])
+
+
+def test_trace_rejects_unknown_categories(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main(["trace", "fig3", "--out", str(tmp_path / "t.jsonl"),
+                 "--categories", "coord,frobnicate"])
+    assert code == 2
+    assert "unknown categories" in capsys.readouterr().err
+
+
+def test_stats_and_validate_parse():
+    args = build_parser().parse_args(["stats", "t.jsonl"])
+    assert args.command == "stats" and args.trace == "t.jsonl"
+    args = build_parser().parse_args(["validate-trace", "t.jsonl"])
+    assert args.command == "validate-trace"
+
+
+def test_validate_trace_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    good = tmp_path / "good.jsonl"
+    good.write_text(
+        '{"ts":0.0,"seq":0,"kind":"net.heal","cat":"net"}\n'
+    )
+    assert main(["validate-trace", str(good)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ts":0.0,"seq":0,"kind":"no.such.kind","cat":"x"}\n')
+    assert main(["validate-trace", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_stats_reports_stage_table(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    events = [
+        {"ts": 0.0, "seq": 0, "kind": "client.submit", "cat": "client",
+         "client": "c", "stream": "S1", "msg_id": 1, "size": 8},
+        {"ts": 0.1, "seq": 1, "kind": "coord.propose", "cat": "coord",
+         "coordinator": "S1/coord", "stream": "S1", "type": "AppValue",
+         "msg_id": 1},
+        {"ts": 0.2, "seq": 2, "kind": "coord.phase2", "cat": "coord",
+         "coordinator": "S1/coord", "stream": "S1", "instance": 0,
+         "msg_ids": [1], "positions": [0]},
+        {"ts": 0.3, "seq": 3, "kind": "coord.decide", "cat": "coord",
+         "coordinator": "S1/coord", "stream": "S1", "instance": 0,
+         "positions": [0]},
+        {"ts": 0.4, "seq": 4, "kind": "learner.learned", "cat": "learner",
+         "replica": "G1/r1", "stream": "S1", "instance": 0,
+         "msg_ids": [1], "positions": [0]},
+        {"ts": 0.5, "seq": 5, "kind": "replica.deliver", "cat": "replica",
+         "replica": "G1/r1", "group": "G1", "stream": "S1",
+         "position": 0, "msg_id": 1},
+    ]
+    trace = tmp_path / "trace.jsonl"
+    trace.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+    assert main(["stats", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "complete lifecycles  : 1" in out
+    assert "submit->deliver" in out
+    assert "500.00" in out   # 0.5 s end-to-end rendered in ms
+
+
+# -- `all` routes through the real per-command parsers ------------------------
+
+
+def test_all_reparses_each_experiment_and_propagates_failure(monkeypatch):
+    import repro.cli as cli
+
+    seen = {}
+
+    def stub(name, code=None):
+        def handler(args):
+            # The sub-args came from the real parser: per-command
+            # defaults (e.g. fig5's duration=70) must be present.
+            seen[name] = args
+            return code
+        return handler
+
+    monkeypatch.setitem(cli._DISPATCH, "fig3", stub("fig3"))
+    monkeypatch.setitem(cli._DISPATCH, "fig4", stub("fig4", code=3))
+    monkeypatch.setitem(cli._DISPATCH, "fig5", stub("fig5"))
+    monkeypatch.setitem(cli._DISPATCH, "provisioning", stub("provisioning"))
+
+    assert cli.main(["all", "--seed", "7"]) == 3
+    assert set(seen) == {"fig3", "fig4", "fig5", "provisioning"}
+    assert all(args.seed == 7 for args in seen.values())
+    assert seen["fig3"].duration == 60.0
+    assert seen["fig5"].duration == 70.0
+    assert seen["fig5"].no_prepare is False
+    assert seen["fig3"].prepare is False
+
+
+def test_all_returns_zero_when_every_experiment_passes(monkeypatch):
+    import repro.cli as cli
+
+    for name in ("fig3", "fig4", "fig5", "provisioning"):
+        monkeypatch.setitem(cli._DISPATCH, name, lambda args: None)
+    assert cli.main(["all"]) == 0

@@ -47,3 +47,51 @@ def test_sparkline_empty_and_zero():
 def test_sparkline_explicit_maximum():
     series = [(0, 50.0)]
     assert series_sparkline(series, maximum=100.0) in "▁▂▃▄▅"
+
+
+def test_sparkline_downsampling_covers_the_tail():
+    # All-zero series with a spike in the last sample: the final bucket
+    # must include it (a truncating bucketer would drop the tail).
+    series = [(i, 0.0) for i in range(499)] + [(499, 499.0)]
+    line = series_sparkline(series, width=60)
+    assert len(line) == 60
+    assert line[-1] != " "
+    assert set(line[:-1]) == {" "}
+
+
+def test_sparkline_downsampling_averages_buckets():
+    # n=7 over width=3: integer edges [0, 2, 4, 7] -> bucket means
+    # (1.5, 3.5, 6.0); the peak bucket renders the full block.
+    series = [(i, float(i + 1)) for i in range(7)]
+    line = series_sparkline(series, width=3)
+    assert len(line) == 3
+    assert line[2] == "█"
+    assert line[0] < line[1] < line[2]
+
+
+def test_sparkline_width_one_more_than_samples_is_not_downsampled():
+    series = [(i, 1.0) for i in range(59)]
+    assert len(series_sparkline(series, width=60)) == 59
+
+
+def test_sparkline_every_sample_lands_in_exactly_one_bucket():
+    # Weight conservation: with equal weights, the bucket means of a
+    # constant series stay constant no matter how n and width divide.
+    for n in (61, 100, 119, 120, 121):
+        line = series_sparkline([(i, 5.0) for i in range(n)], width=60)
+        assert len(line) == 60
+        assert set(line) == {"█"}
+
+
+def test_plain_table_aligns_and_underlines_header():
+    from repro.harness.report import plain_table
+
+    table = plain_table(
+        ("stage", "n", "p95 ms"),
+        [("submit->deliver", 100, 5.42), ("learn->deliver", 100, 0.51)],
+    )
+    lines = table.splitlines()
+    assert lines[0].startswith("stage")
+    assert set(lines[1]) <= {"-", " "}
+    assert "submit->deliver" in lines[2]
+    assert "5.42" in table

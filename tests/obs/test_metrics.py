@@ -1,0 +1,85 @@
+"""Unit tests for the per-actor metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import Gauge, MetricsRegistry
+from repro.obs.trace import current_metrics, installed
+from repro.sim.core import Environment
+
+
+def test_gauge_tracks_last_and_peak():
+    env = Environment()
+    gauge = Gauge(env, "depth")
+    assert gauge.value is None and gauge.peak is None
+    gauge.record(3.0)
+    gauge.record(9.0)
+    gauge.record(4.0)
+    assert gauge.value == 4.0
+    assert gauge.peak == 9.0
+    assert len(gauge) == 3
+
+
+def test_registry_requires_environment():
+    registry = MetricsRegistry()
+    with pytest.raises(RuntimeError, match="not bound"):
+        registry.counter("a", "ops")
+
+
+def test_registry_bind_first_env_wins():
+    registry = MetricsRegistry()
+    env1, env2 = Environment(), Environment()
+    registry.bind(env1)
+    registry.bind(env2)
+    assert registry.env is env1
+
+
+def test_instruments_are_keyed_and_reused():
+    registry = MetricsRegistry(env=Environment())
+    c1 = registry.counter("G1/r1", "retransmits")
+    assert registry.counter("G1/r1", "retransmits") is c1
+    assert registry.counter("G1/r2", "retransmits") is not c1
+    g = registry.gauge("G1/r1", "inbox_depth")
+    assert registry.gauge("G1/r1", "inbox_depth") is g
+    h = registry.histogram("G1/r1", "checkpoint_bytes")
+    assert registry.histogram("G1/r1", "checkpoint_bytes") is h
+    assert registry.actors() == ["G1/r1", "G1/r2"]
+
+
+def test_summary_rows_render_all_instrument_kinds():
+    registry = MetricsRegistry(env=Environment())
+    registry.counter("r1", "ops").record()
+    registry.counter("r1", "ops").record(weight=2)
+    registry.gauge("r1", "lag").record(5.0)
+    registry.histogram("r1", "bytes").record(100.0)
+    registry.histogram("r1", "bytes").record(300.0)
+    registry.gauge("r2", "lag")   # no samples yet
+    rows = {(actor, name): (kind, text)
+            for actor, name, kind, text in registry.summary_rows()}
+    assert rows[("r1", "ops")] == ("counter", "total=3")
+    assert rows[("r1", "lag")] == ("gauge", "last=5 peak=5")
+    assert "mean=200" in rows[("r1", "bytes")][1]
+    assert rows[("r2", "lag")] == ("gauge", "(no samples)")
+
+
+def test_registry_instruments_are_bounded():
+    registry = MetricsRegistry(env=Environment(), max_samples=4)
+    histogram = registry.histogram("r1", "bytes")
+    for i in range(10):
+        histogram.record(float(i))
+    assert len(histogram) == 4
+    assert histogram.values == (6.0, 7.0, 8.0, 9.0)
+    counter = registry.counter("r1", "ops")
+    for _ in range(10):
+        counter.record()
+    assert counter.total == 10   # lifetime total survives eviction
+
+
+def test_environment_adopts_installed_registry():
+    registry = MetricsRegistry()
+    with installed(metrics=registry):
+        assert current_metrics() is registry
+        env = Environment()
+        assert env.metrics is registry
+        assert registry.env is env   # bound at construction
+    assert current_metrics() is None
+    assert Environment().metrics is None

@@ -1,0 +1,126 @@
+"""Unit tests for the trace event bus (repro.obs.trace)."""
+
+import json
+
+from repro.obs import (
+    ALL_CATEGORIES,
+    DEFAULT_CATEGORIES,
+    JsonlSink,
+    ListSink,
+    Tracer,
+    current_tracer,
+    install,
+    installed,
+    uninstall,
+)
+from repro.sim.core import Environment
+
+
+def test_emit_builds_envelope_and_sequences():
+    sink = ListSink()
+    tracer = Tracer(sinks=[sink])
+    tracer.emit("client.submit", 0.5, client="c", stream="S1", msg_id=1, size=8)
+    tracer.emit("client.ack", 0.7, client="c", msg_id=1, latency=0.2)
+    assert [e["seq"] for e in sink.events] == [0, 1]
+    first = sink.events[0]
+    assert first["ts"] == 0.5
+    assert first["kind"] == "client.submit"
+    assert first["cat"] == "client"
+    assert first["msg_id"] == 1
+
+
+def test_category_defaults_to_kind_prefix_and_cat_overrides():
+    sink = ListSink()
+    tracer = Tracer(sinks=[sink], categories=ALL_CATEGORIES)
+    tracer.emit("net.partition", 1.0, cat="fault", side_a=["a"], side_b=["b"])
+    assert sink.events[0]["cat"] == "fault"
+    tracer.emit("net.heal", 2.0)
+    assert sink.events[1]["cat"] == "net"
+
+
+def test_noisy_categories_are_opt_in():
+    sink = ListSink()
+    tracer = Tracer(sinks=[sink])   # DEFAULT_CATEGORIES
+    tracer.emit("net.send", 0.0, src="a", dst="b", type="X", size=1)
+    tracer.emit("sim.process", 0.0)
+    tracer.emit("actor.dispatch", 0.0, cat="dispatch", name="a", src="b", type="X")
+    assert sink.events == []
+    tracer.emit("replica.deliver", 0.0, replica="r", group="G", stream="S",
+                position=0, msg_id=1)
+    assert len(sink.events) == 1
+    assert not tracer.wants_net and not tracer.wants_sim
+    all_tracer = Tracer(categories=ALL_CATEGORIES)
+    assert all_tracer.wants_net and all_tracer.wants_sim and all_tracer.wants_dispatch
+
+
+def test_wants_matches_category_set():
+    tracer = Tracer(categories={"coord", "net"})
+    assert tracer.wants("coord")
+    assert tracer.wants("net")
+    assert not tracer.wants("merge")
+    assert tracer.wants_net
+
+
+def test_plain_callable_accepted_as_sink():
+    seen = []
+    tracer = Tracer(sinks=[seen.append])
+    tracer.emit("client.timeout", 1.0, client="c", stream="S1", msg_id=3)
+    assert seen[0]["kind"] == "client.timeout"
+
+
+def test_dropped_events_do_not_consume_sequence_numbers():
+    sink = ListSink()
+    tracer = Tracer(sinks=[sink])
+    tracer.emit("net.send", 0.0, src="a", dst="b", type="X", size=1)  # filtered
+    tracer.emit("client.ack", 0.0, client="c", msg_id=1, latency=0.1)
+    assert sink.events[0]["seq"] == 0
+    assert tracer.emitted == 1
+
+
+def test_jsonl_sink_roundtrip(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    sink = JsonlSink(path)
+    tracer = Tracer(sinks=[sink])
+    tracer.emit("client.submit", 0.1, client="c", stream="S1", msg_id=7, size=32)
+    tracer.close()
+    assert sink.written == 1
+    lines = [json.loads(l) for l in open(path, encoding="utf-8")]
+    assert lines == [{"ts": 0.1, "seq": 0, "kind": "client.submit",
+                      "cat": "client", "client": "c", "stream": "S1",
+                      "msg_id": 7, "size": 32}]
+
+
+def test_install_slot_and_environment_adoption():
+    assert current_tracer() is None
+    tracer = Tracer()
+    install(tracer)
+    try:
+        env = Environment()
+        assert env.tracer is tracer
+    finally:
+        uninstall()
+    assert current_tracer() is None
+    # Environments built after uninstall see no tracer: the slot is
+    # captured at construction, not consulted per event.
+    assert Environment().tracer is None
+
+
+def test_installed_context_manager_restores():
+    tracer = Tracer()
+    with installed(tracer) as active:
+        assert active is tracer
+        assert current_tracer() is tracer
+    assert current_tracer() is None
+
+
+def test_default_categories_exclude_firehoses():
+    assert DEFAULT_CATEGORIES < ALL_CATEGORIES
+    assert {"net", "sim", "dispatch"} == ALL_CATEGORIES - DEFAULT_CATEGORIES
+
+
+def test_close_closes_sinks(tmp_path):
+    sink = JsonlSink(str(tmp_path / "t.jsonl"))
+    tracer = Tracer(sinks=[sink])
+    tracer.close()
+    assert sink._file.closed
+    tracer.close()   # idempotent

@@ -110,3 +110,171 @@ def test_interval_utilisation_points():
     env.run(until=2.0)
     points = probe.interval_utilisation(1.0, start=0.0, end=2.0)
     assert points == [(0.0, pytest.approx(1.0)), (1.0, pytest.approx(0.0))]
+
+
+# -- retention bounds (window / max_samples) ---------------------------------
+
+
+def test_counter_window_evicts_old_samples():
+    env = Environment()
+    counter = Counter(env, window=1.0)
+
+    def proc():
+        for _ in range(4):
+            counter.record()
+            yield env.timeout(0.5)
+
+    env.process(proc())
+    env.run()
+    # The sample at t=0.0 fell out of the [0.5, 1.5] window (a sample
+    # exactly at the window edge is retained).
+    assert len(counter) == 3
+    assert counter.total == 4                       # lifetime, not windowed
+    assert counter.rate_between(0.0, 1.0) == pytest.approx(1.0)
+
+
+def test_counter_max_samples_keeps_newest():
+    env = Environment()
+    counter = Counter(env, max_samples=3)
+    for _ in range(10):
+        counter.record()
+    assert len(counter) == 3
+    assert counter.total == 10
+
+
+def test_series_window_and_max_samples_compose():
+    env = Environment()
+    series = Series(env, window=10.0, max_samples=2)
+
+    def proc():
+        for v in (1.0, 2.0, 3.0):
+            series.record(v)
+            yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    assert series.values == (2.0, 3.0)              # count bound is tighter
+    assert series.times == (1.0, 2.0)
+    assert series.percentile(100) == 3.0
+    assert series.mean() == pytest.approx(2.5)
+
+
+def test_series_windowed_between_sees_only_retained():
+    env = Environment()
+    series = Series(env, window=0.9)
+
+    def proc():
+        for v in (1.0, 2.0, 3.0):
+            series.record(v)
+            yield env.timeout(0.5)
+
+    env.process(proc())
+    env.run()
+    assert series.between(0.0, 2.0) == [2.0, 3.0]
+
+
+def test_bounded_compaction_keeps_answers_correct():
+    # Push far past the compaction threshold; the logical view must be
+    # unaffected by the physical list compactions along the way.
+    env = Environment()
+    series = Series(env, max_samples=10)
+    for i in range(3000):
+        series.record(float(i))
+    assert len(series) == 10
+    assert series.values == tuple(float(i) for i in range(2990, 3000))
+    # The dead prefix was actually compacted away, not just skipped.
+    assert len(series._times) < 3000
+
+
+def test_retention_bounds_validated():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Counter(env, window=0.0)
+    with pytest.raises(ValueError):
+        Series(env, max_samples=0)
+
+
+# -- edge cases --------------------------------------------------------------
+
+
+def test_interval_rates_empty_intervals_report_zero():
+    env = Environment()
+    counter = Counter(env)
+
+    def proc():
+        yield env.timeout(2.5)
+        counter.record()
+
+    env.process(proc())
+    env.run()
+    rates = counter.interval_rates(1.0, start=0.0, end=3.0)
+    assert rates == [
+        (0.0, 0.0),
+        (1.0, 0.0),
+        (2.0, pytest.approx(1.0)),
+    ]
+
+
+def test_interval_rates_of_empty_counter():
+    env = Environment()
+    counter = Counter(env)
+    assert counter.interval_rates(1.0, start=0.0, end=2.0) == [
+        (0.0, 0.0), (1.0, 0.0),
+    ]
+    # With no explicit end and env.now == 0, there are no intervals.
+    assert counter.interval_rates(1.0) == []
+
+
+def test_interval_rates_partial_final_interval():
+    env = Environment()
+    counter = Counter(env)
+    counter.record(weight=3)
+    env.run(until=0.5)
+    # Final interval is [0.0, 0.5): the rate reflects the short width.
+    rates = counter.interval_rates(1.0, start=0.0, end=0.5)
+    assert rates == [(0.0, pytest.approx(6.0))]
+
+
+def test_interval_rates_rejects_bad_interval():
+    env = Environment()
+    counter = Counter(env)
+    with pytest.raises(ValueError):
+        counter.interval_rates(0.0)
+
+
+def test_percentile_single_sample_any_pct():
+    assert percentile([7.0], 0.001) == 7.0
+    assert percentile([7.0], 100) == 7.0
+
+
+def test_utilisation_between_spanning_zero_episodes():
+    env = Environment()
+    probe = UtilisationProbe(env)
+
+    def proc():
+        probe.busy()
+        yield env.timeout(1.0)
+        probe.idle()
+        yield env.timeout(3.0)
+
+    env.process(proc())
+    env.run()
+    # The queried window lies entirely after the only busy episode.
+    assert probe.utilisation_between(2.0, 4.0) == 0.0
+
+
+def test_utilisation_probe_idempotent_marks():
+    env = Environment()
+    probe = UtilisationProbe(env)
+    probe.idle()                       # idle while already idle: no-op
+    probe.busy()
+    probe.busy()                       # busy while already busy: no-op
+    env.run(until=1.0)
+    assert probe.utilisation_between(0.0, 1.0) == pytest.approx(1.0)
+
+
+def test_utilisation_between_rejects_empty_window():
+    env = Environment()
+    probe = UtilisationProbe(env)
+    with pytest.raises(ValueError):
+        probe.utilisation_between(1.0, 1.0)
