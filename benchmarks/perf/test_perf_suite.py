@@ -1,0 +1,57 @@
+"""Thin pytest wrappers over the microbenchmark suite.
+
+Run with ``pytest benchmarks/perf -s`` for a local perf report; the CI
+perf-smoke job uses the ``python -m repro bench --quick`` CLI instead
+(same code path, plus the baseline comparison).
+"""
+
+from repro.bench.suite import (
+    bench_dmerge_values,
+    bench_fig3_e2e,
+    bench_kernel_events,
+    bench_kernel_timeouts,
+    bench_network_msgs,
+    bench_structural_copy,
+)
+
+
+def test_perf_kernel_events():
+    result = bench_kernel_events(50_000)
+    print(f"\nkernel_events: {result['events_per_s']:,.0f} events/s")
+    assert result["events_per_s"] > 0
+
+
+def test_perf_kernel_timeouts():
+    result = bench_kernel_timeouts(20_000)
+    print(f"\nkernel_timeouts: {result['events_per_s']:,.0f} events/s")
+    assert result["events_per_s"] > 0
+
+
+def test_perf_network_msgs():
+    result = bench_network_msgs(20_000)
+    print(f"\nnetwork_msgs: {result['msgs_per_s']:,.0f} msgs/s")
+    assert result["msgs_per_s"] > 0
+
+
+def test_perf_dmerge_values():
+    result = bench_dmerge_values(20_000)
+    print(f"\ndmerge_values: {result['values_per_s']:,.0f} values/s")
+    assert result["values_per_s"] > 0
+
+
+def test_perf_structural_copy_beats_deepcopy():
+    """The satellite win, asserted: the structural snapshot copy must
+    stay well ahead of ``copy.deepcopy`` on checkpoint-shaped state."""
+    result = bench_structural_copy(40, 20, 20)
+    print(f"\nstructural_copy: {result['speedup']:.1f}x vs deepcopy")
+    assert result["speedup"] > 3.0
+
+
+def test_perf_fig3_quick_end_to_end():
+    result = bench_fig3_e2e(quick=True)
+    print(
+        f"\nfig3 quick: {result['sim_duration_s']:.0f} sim-s in "
+        f"{result['wall_s']:.3f} s ({result['realtime_factor']:.1f}x realtime)"
+    )
+    # Simulation must comfortably outrun real time on any machine.
+    assert result["realtime_factor"] > 1.0

@@ -1,0 +1,24 @@
+"""Performance microbenchmark suite (``python -m repro bench``).
+
+Measures the hot layers of the reproduction in isolation -- the event
+calendar, the network hop, the dynamic merge -- plus the figure-3
+experiment end to end, and emits a machine-readable JSON report that
+the CI perf-smoke job compares against a committed baseline
+(``BENCH_baseline.json``).  See ``docs/PERFORMANCE.md``.
+"""
+
+from .suite import (
+    BENCH_SCHEMA_VERSION,
+    PRE_PR_FIG3_WALL_S,
+    compare_to_baseline,
+    run_bench,
+    summary_lines,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "PRE_PR_FIG3_WALL_S",
+    "compare_to_baseline",
+    "run_bench",
+    "summary_lines",
+]

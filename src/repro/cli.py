@@ -12,6 +12,8 @@ Usage::
     python -m repro trace <experiment> --out trace.jsonl [--categories ...]
     python -m repro stats trace.jsonl
     python -m repro validate-trace trace.jsonl
+    python -m repro bench [--quick] [--profile] [--out BENCH.json]
+                          [--baseline BENCH_baseline.json] [--threshold 0.25]
 
 Each experiment command runs on the simulator and prints the
 paper-vs-measured comparison plus sparkline series; ``faults`` runs a
@@ -21,7 +23,9 @@ always-on safety invariant checkers and prints the invariant report.
 protocol events to JSONL (see ``docs/OBSERVABILITY.md``); ``stats``
 reconstructs per-message causal lifecycles from such a trace and prints
 per-stage latency percentiles; ``validate-trace`` checks a trace
-against the event schema (the CI smoke test).
+against the event schema (the CI smoke test).  ``bench`` runs the
+performance microbenchmark suite (see ``docs/PERFORMANCE.md``) and can
+compare against a committed baseline for the CI perf-smoke job.
 """
 
 from __future__ import annotations
@@ -261,6 +265,61 @@ def _validate_trace(args) -> int:
     return 0
 
 
+def _bench(args) -> int:
+    import json
+
+    from .bench import compare_to_baseline, run_bench, summary_lines
+
+    if args.profile:
+        from .bench.profiler import sample_profile
+        from .bench.suite import _fig3_config
+
+        from .harness.experiments.vertical import run_vertical
+
+        config = _fig3_config(args.quick)
+        print(section("bench --profile: sampling the figure-3 run"))
+        _, wall, samples, total = sample_profile(
+            lambda: run_vertical(config)
+        )
+        print(f"wall {wall:.3f}s, {total} samples, top stacks:")
+        for key, count in samples.most_common(25):
+            print(f"{100 * count / total:5.1f}% {key}")
+        return 0
+
+    report = run_bench(quick=args.quick)
+    print(section(
+        "Performance microbenchmarks"
+        + (" (quick)" if args.quick else "")
+    ))
+    for line in summary_lines(report):
+        print(line)
+
+    status = 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        lines, regressions = compare_to_baseline(
+            report, baseline, args.threshold
+        )
+        print()
+        print(f"baseline comparison ({args.baseline}, "
+              f"threshold {args.threshold:.0%}):")
+        for line in lines:
+            print(line)
+        if regressions:
+            print(f"PERF REGRESSION in: {', '.join(regressions)}")
+            status = 1
+        else:
+            print("no perf regressions")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nreport -> {args.out}")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -323,8 +382,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("trace", help="trace JSONL file to validate")
 
+    bench = sub.add_parser(
+        "bench", help="performance microbenchmarks (docs/PERFORMANCE.md)"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="seconds-scale sizes (the CI perf-smoke mode)")
+    bench.add_argument("--profile", action="store_true",
+                       help="sampling-profile the figure-3 run instead")
+    bench.add_argument("--out", default=None,
+                       help="write the JSON report here (e.g. BENCH_PR3.json)")
+    bench.add_argument("--baseline", default=None,
+                       help="compare against a committed BENCH_*.json report")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="regression threshold as a fraction (default 0.25)")
+
     for name, p in sub.choices.items():
-        if name in ("faults", "stats", "validate-trace"):
+        if name in ("faults", "stats", "validate-trace", "bench"):
             continue
         p.add_argument("--seed", type=int, default=1)
         if name in ("provisioning", "all"):
@@ -341,6 +414,7 @@ _DISPATCH = {
     "trace": _trace,
     "stats": _stats,
     "validate-trace": _validate_trace,
+    "bench": _bench,
 }
 
 

@@ -25,7 +25,6 @@ with the failure -- and the exception carries the dump path in its
 
 from __future__ import annotations
 
-import copy
 import os
 from dataclasses import dataclass, field
 from typing import Optional
@@ -35,6 +34,7 @@ from ..obs.recorder import FlightRecorder
 from ..obs.trace import Tracer, current_tracer, installed
 from ..sim.core import Interrupt
 from ..storage.checkpoint import CheckpointStore
+from ..storage.snapshot import structural_copy
 from .invariants import InvariantSuite, InvariantViolation
 from .orchestrator import FaultOrchestrator
 from .scenarios import ScenarioSpec
@@ -163,7 +163,7 @@ class ScenarioRunner:
                 return
             checkpoint, mark = self.checkpoints[name].latest().state
             self.suite.rewind(name, mark)
-            replica.recover_from_checkpoint(copy.deepcopy(checkpoint))
+            replica.recover_from_checkpoint(structural_copy(checkpoint))
 
         return recover
 

@@ -16,10 +16,10 @@ from typing import Mapping, Optional
 from ..multicast.replica import MulticastReplica
 from ..multicast.stream import StreamDeployment
 from ..net.actor import Actor
-from ..net.messages import Message, WIRE_HEADER_BYTES
+from ..net.messages import FastMessage, Message, WIRE_HEADER_BYTES
 from ..paxos.messages import Propose
 from ..paxos.types import AppValue
-from ..sim.core import AnyOf, Environment, Interrupt
+from ..sim.core import _PENDING, AnyOf, Environment, Interrupt
 from ..sim.monitor import Counter, Series
 from ..sim.network import Network
 from ..sim.resources import Server
@@ -27,12 +27,15 @@ from ..sim.resources import Server
 __all__ = ["BroadcastReplica", "BroadcastClient", "DeliveryAck"]
 
 
-@dataclass(frozen=True)
-class DeliveryAck(Message):
+class DeliveryAck(FastMessage):
     """Replica -> client acknowledgement of one delivered value."""
 
-    msg_id: int
-    replica: str
+    __slots__ = ("msg_id", "replica")
+    _FIELDS = ("msg_id", "replica")
+
+    def __init__(self, msg_id: int, replica: str):
+        self.msg_id = msg_id
+        self.replica = replica
 
     def wire_size(self) -> int:
         return WIRE_HEADER_BYTES + 16
@@ -57,9 +60,12 @@ class BroadcastReplica(MulticastReplica):
         self.per_stream_ops: dict[str, Counter] = {}
 
     def stream_counter(self, stream: str) -> Counter:
-        if stream not in self.per_stream_ops:
-            self.per_stream_ops[stream] = Counter(self.env, f"{self.name}:{stream}")
-        return self.per_stream_ops[stream]
+        counter = self.per_stream_ops.get(stream)
+        if counter is None:
+            counter = self.per_stream_ops[stream] = Counter(
+                self.env, f"{self.name}:{stream}"
+            )
+        return counter
 
     def apply(self, value: AppValue, stream: str, position: int) -> None:
         super().apply(value, stream, position)   # tracing + delivery taps
@@ -103,6 +109,7 @@ class BroadcastClient(Actor):
         self.timeouts = 0
         self._pending: dict[int, object] = {}
         self._workers: list = []
+        self._retargets: dict[str, str] = {}
 
     def start_threads(self, stream: str, count: int) -> None:
         """Start ``count`` closed-loop threads submitting to ``stream``."""
@@ -120,20 +127,23 @@ class BroadcastClient(Actor):
     def retarget(self, old_stream: str, new_stream: str) -> None:
         """Move all threads from one stream to another (reconfiguration:
         after the switch, clients must submit to the new stream)."""
-        self._retargets = getattr(self, "_retargets", {})
         self._retargets[old_stream] = new_stream
 
     def _target_of(self, stream: str) -> str:
-        retargets = getattr(self, "_retargets", {})
+        retargets = self._retargets
         while stream in retargets:
             stream = retargets[stream]
         return stream
 
     def _worker(self, stream: str):
+        # The tracer is fixed for the environment's lifetime; hoist the
+        # per-attempt lookups out of the submission loop.
+        env = self.env
+        tracer = env.tracer
         try:
             while True:
                 target = self._target_of(stream)
-                started = self.env.now
+                started = env._now
                 while True:
                     # A fresh value per attempt: coordinators order each
                     # msg_id at most once (wire-duplicate dedup), so a
@@ -143,27 +153,25 @@ class BroadcastClient(Actor):
                     value = AppValue(
                         payload=None, size=self.value_size, sender=self.name
                     )
-                    done = self.env.event()
+                    done = env.event()
                     self._pending[value.msg_id] = done
                     coordinator = self.directory[target].config.coordinator
-                    tracer = self.env.tracer
                     if tracer is not None:
                         tracer.emit(
-                            "client.submit", self.env.now, client=self.name,
+                            "client.submit", self.env._now, client=self.name,
                             stream=target, msg_id=value.msg_id,
                             size=self.value_size,
                         )
                     self.send(coordinator, Propose(stream=target, token=value))
-                    expiry = self.env.timeout(self.timeout)
-                    yield AnyOf(self.env, [done, expiry])
-                    if done.triggered:
+                    expiry = env.timeout(self.timeout)
+                    yield AnyOf(env, [done, expiry])
+                    if done._value is not _PENDING:   # done.triggered
                         break
                     self._pending.pop(value.msg_id, None)
                     self.timeouts += 1
-                    tracer = self.env.tracer
                     if tracer is not None:
                         tracer.emit(
-                            "client.timeout", self.env.now, client=self.name,
+                            "client.timeout", self.env._now, client=self.name,
                             stream=target, msg_id=value.msg_id,
                         )
                     metrics = self.env.metrics
@@ -171,12 +179,11 @@ class BroadcastClient(Actor):
                         metrics.counter(self.name, "timeouts").record()
                     target = self._target_of(target)
                 self.ops.record()
-                self.latency.record(self.env.now - started)
-                tracer = self.env.tracer
+                self.latency.record(env._now - started)
                 if tracer is not None:
                     tracer.emit(
-                        "client.ack", self.env.now, client=self.name,
-                        msg_id=value.msg_id, latency=self.env.now - started,
+                        "client.ack", self.env._now, client=self.name,
+                        msg_id=value.msg_id, latency=self.env._now - started,
                     )
                 if self.think_time > 0:
                     yield self.env.timeout(self.think_time)

@@ -139,6 +139,9 @@ class ElasticMerger:
         # (None keeps the merger fully standalone, as in the unit tests).
         self.owner = owner or f"merger:{group}"
         self.env = env
+        # The merger runs standalone in unit tests (env=None); when
+        # simulated, env.tracer is fixed, so pre-gate the probe here.
+        self._tracer = env.tracer if env is not None else None
 
         self.sigma: list[str] = []
         self._cursors: dict[str, StreamCursor] = {}
@@ -150,13 +153,11 @@ class ElasticMerger:
         self.stats = MergerStats()
 
     def _emit(self, kind: str, **fields) -> None:
-        env = self.env
-        if env is None:
-            return
-        tracer = env.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.emit(
-                kind, env.now, replica=self.owner, group=self.group, **fields
+                kind, self.env.now, replica=self.owner, group=self.group,
+                **fields,
             )
 
     # -- setup -------------------------------------------------------------

@@ -25,22 +25,43 @@ __all__ = ["StaticMerger", "StreamCursor"]
 class StreamCursor:
     """A replica's read position in one stream's token log."""
 
+    __slots__ = (
+        "name", "log", "position", "index_hint",
+        "_cache_token", "_cache_start", "_cache_end",
+    )
+
     def __init__(self, name: str, log: Optional[TokenLog] = None):
         self.name = name
         self.log = log if log is not None else TokenLog()
         self.position = self.log.base      # next position to consume
         self.index_hint = 0                # token index cache for O(1) lookup
+        # Last peeked token with its [start, end) position range.  The
+        # log is append-only and never rebased once it holds tokens, so
+        # a cached triple stays valid forever; re-peeking inside a wide
+        # token (a multi-position skip) hits the cache instead of
+        # re-running ``token_covering``.
+        self._cache_token: Optional[Token] = None
+        self._cache_start = 0
+        self._cache_end = 0
 
     def peek(self) -> Optional[Token]:
         """Token at the current position, or None if not yet decided."""
-        if self.position < self.log.base:
+        pos = self.position
+        if self._cache_start <= pos < self._cache_end:
+            return self._cache_token
+        log = self.log
+        if pos < log._base:
             # The log was rebased after this cursor was created (the
             # acceptors trimmed their prefix); positions below the base
             # are unknowable and, for a fresh subscriber, discarded.
-            self.position = self.log.base
-        token, self.index_hint = self.log.token_covering(
-            self.position, self.index_hint
-        )
+            self.position = pos = log.base
+        token, index = log.token_covering(pos, self.index_hint)
+        self.index_hint = index
+        if token is not None:
+            start = log.start_of(index)
+            self._cache_token = token
+            self._cache_start = start
+            self._cache_end = start + token.positions()
         return token
 
     def token_end(self, token: Token) -> int:

@@ -53,6 +53,9 @@ class MulticastReplica(Actor):
         self.group = group
         self.directory = directory
         self._on_deliver = on_deliver
+        # Fixed at environment construction; cached for the hot probes.
+        self._tracer = env.tracer
+        self._metrics = env.metrics
         self._observers: list[Callable[[AppValue, str, int], None]] = []
         self.learners: dict[str, LearnerCore] = {}
         self.logs: dict[str, TokenLog] = {}
@@ -71,14 +74,14 @@ class MulticastReplica(Actor):
 
     def apply(self, value: AppValue, stream: str, position: int) -> None:
         """Deliver one value to the application (override or callback)."""
-        tracer = self.env.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.emit(
                 "replica.deliver", self.env.now, replica=self.name,
                 group=self.group, stream=stream, position=position,
                 msg_id=value.msg_id,
             )
-        metrics = self.env.metrics
+        metrics = self._metrics
         if metrics is not None:
             metrics.counter(self.name, "delivered").record()
         for observer in self._observers:
@@ -128,7 +131,7 @@ class MulticastReplica(Actor):
 
         def on_decided(instance: int, batch: Batch, _stream=stream, _log=log):
             _log.append_batch(batch, instance=instance)
-            tracer = self.env.tracer
+            tracer = self._tracer
             if tracer is not None:
                 tracer.emit(
                     "learner.learned", self.env.now, replica=self.name,
@@ -139,7 +142,7 @@ class MulticastReplica(Actor):
                     ],
                     positions=batch.positions(),
                 )
-            metrics = self.env.metrics
+            metrics = self._metrics
             if metrics is not None:
                 cursor = self.merger.positions().get(_stream)
                 if cursor is not None:
@@ -215,7 +218,7 @@ class MulticastReplica(Actor):
             "next_stream": self.merger.next_stream,
             "state": self.snapshot_state(),
         }
-        metrics = self.env.metrics
+        metrics = self._metrics
         if metrics is not None:
             metrics.histogram(self.name, "checkpoint_bytes").record(
                 len(repr(checkpoint))

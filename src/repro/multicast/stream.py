@@ -129,21 +129,24 @@ class TokenLog:
             raise ValueError(
                 f"position {position} precedes log base {self._base}"
             )
+        tokens = self._tokens
+        starts = self._starts
+        count = len(tokens)
         if position >= self._frontier:
-            return None, min(hint, len(self._tokens))
-        index = min(max(hint, 0), len(self._tokens) - 1)
+            return None, (hint if hint < count else count)
+        index = hint
+        if index < 0:
+            index = 0
+        elif index >= count:
+            index = count - 1
         # Walk backwards if the hint overshot, forwards otherwise.
-        while self._starts[index] > position:
+        while starts[index] > position:
             index -= 1
-        while (
-            index + 1 < len(self._tokens)
-            and self._starts[index + 1] <= position
-        ):
-            token_end = self._starts[index] + self._tokens[index].positions()
-            if position < token_end:
+        while index + 1 < count and starts[index + 1] <= position:
+            if position < starts[index] + tokens[index].positions():
                 break
             index += 1
-        return self._tokens[index], index
+        return tokens[index], index
 
 
 class StreamDeployment:

@@ -43,6 +43,10 @@ class Actor:
         # loop parked on the replaced inbox forever.
         self.host.actor = self
         self._loop: Optional[Process] = None
+        # Per-message-class handler methods, resolved lazily: the regex
+        # camel-case split and getattr are too slow for the dispatch
+        # hot path.
+        self._handler_cache: dict[type, Any] = {}
 
     # -- lifecycle ------------------------------------------------------
 
@@ -69,7 +73,7 @@ class Actor:
         self.stop()
         tracer = self.env.tracer
         if tracer is not None:
-            tracer.emit("actor.crash", self.env.now, name=self.name)
+            tracer.emit("actor.crash", self.env._now, name=self.name)
 
     def recover(self) -> None:
         """Restart after a crash; volatile state must be rebuilt by the
@@ -78,7 +82,7 @@ class Actor:
         self.start()
         tracer = self.env.tracer
         if tracer is not None:
-            tracer.emit("actor.recover", self.env.now, name=self.name)
+            tracer.emit("actor.recover", self.env._now, name=self.name)
 
     @property
     def crashed(self) -> bool:
@@ -90,11 +94,17 @@ class Actor:
         """Send ``payload`` to the actor named ``dst``."""
         if self.host.crashed:
             return
-        self.network.send(self.name, dst, payload, size=payload.wire_size())
+        self.network.send(self.name, dst, payload, payload.wire_size())
 
     def send_all(self, dsts: list[str], payload: Message) -> None:
+        if self.host.crashed:
+            return
+        # One wire-size computation for the whole fan-out.
+        size = payload.wire_size()
+        net_send = self.network.send
+        name = self.name
         for dst in dsts:
-            self.send(dst, payload)
+            net_send(name, dst, payload, size)
 
     # -- dispatch ------------------------------------------------------
 
@@ -105,28 +115,44 @@ class Actor:
         if tracer is not None and not tracer.wants_dispatch:
             tracer = None
         metrics = self.env.metrics
+        # The inbox and dispatch method are stable for the lifetime of
+        # one loop instance: a crash interrupts the loop and recovery
+        # starts a fresh generator against the replacement inbox.
+        get = self.host.inbox.get
+        dispatch = self.dispatch
+        if tracer is None and metrics is None:
+            while True:
+                try:
+                    envelope = yield get()
+                except Interrupt:
+                    return
+                dispatch(envelope.payload, envelope.src)
         while True:
             try:
-                envelope = yield self.host.inbox.get()
+                envelope = yield get()
             except Interrupt:
                 return
             if tracer is not None:
                 tracer.emit(
-                    "actor.dispatch", self.env.now, name=self.name,
+                    "actor.dispatch", self.env._now, name=self.name,
                     src=envelope.src, type=type(envelope.payload).__name__,
                 )
             if metrics is not None:
                 metrics.gauge(self.name, "inbox_depth").record(
                     len(self.host.inbox)
                 )
-            self.dispatch(envelope.payload, envelope.src)
+            dispatch(envelope.payload, envelope.src)
 
     def dispatch(self, payload: Any, src: str) -> None:
         """Route ``payload`` to the matching ``on_*`` handler."""
-        handler = getattr(self, _handler_name(payload), None)
+        cls = type(payload)
+        handler = self._handler_cache.get(cls)
         if handler is None:
-            raise NotImplementedError(
-                f"{type(self).__name__} {self.name!r} has no handler "
-                f"{_handler_name(payload)!r} for {payload!r}"
-            )
+            handler = getattr(self, _handler_name(payload), None)
+            if handler is None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} {self.name!r} has no handler "
+                    f"{_handler_name(payload)!r} for {payload!r}"
+                )
+            self._handler_cache[cls] = handler
         handler(payload, src)

@@ -12,13 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Any
 
-__all__ = ["Message", "WIRE_HEADER_BYTES"]
+__all__ = ["FastMessage", "Message", "WIRE_HEADER_BYTES"]
 
 # Fixed per-message framing overhead (headers, type tag, checksums).
 WIRE_HEADER_BYTES = 48
 
+# Per-class tuple of field names, resolved once -- dataclasses.fields()
+# walks the MRO on every call, which is measurable on the send path.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Message:
     """Base class for all protocol messages.
 
@@ -29,9 +33,48 @@ class Message:
 
     def wire_size(self) -> int:
         """Estimated serialized size in bytes."""
+        cls = type(self)
+        names = _FIELD_NAMES.get(cls)
+        if names is None:
+            names = tuple(f.name for f in fields(self))
+            _FIELD_NAMES[cls] = names
         return WIRE_HEADER_BYTES + sum(
-            _field_size(getattr(self, f.name)) for f in fields(self)
+            _field_size(getattr(self, name)) for name in names
         )
+
+
+class FastMessage(Message):
+    """Base for hand-optimized hot-path messages.
+
+    The frozen-dataclass construction protocol routes every field
+    through ``object.__setattr__``, which dominates the cost of
+    building the millions of protocol messages a long run sends.
+    Subclasses of this base hand-write ``__init__`` with plain
+    attribute stores and declare ``_FIELDS`` so ``__repr__`` /
+    ``__eq__`` / ``__hash__`` stay equivalent to the generated ones.
+    Instances are immutable by convention -- the frozen guard is traded
+    for construction speed on exactly these classes.
+    """
+
+    __slots__ = ()
+    __setattr__ = object.__setattr__
+    __delattr__ = object.__delattr__
+    _FIELDS: tuple = ()
+
+    def __repr__(self) -> str:
+        kv = ", ".join(f"{n}={getattr(self, n)!r}" for n in self._FIELDS)
+        return f"{self.__class__.__name__}({kv})"
+
+    def __eq__(self, other: Any) -> Any:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        names = self._FIELDS
+        return tuple(getattr(self, n) for n in names) == tuple(
+            getattr(other, n) for n in names
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(getattr(self, n) for n in self._FIELDS))
 
 
 def _field_size(value: Any) -> int:

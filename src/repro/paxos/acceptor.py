@@ -45,12 +45,40 @@ RECOVERY_PAGE_INSTANCES = 100
 class AcceptorCore:
     """Pure Paxos acceptor state machine for one stream."""
 
+    # ``ring`` is a property so the per-message ring lookup (our index,
+    # our successor) is computed once per reconfiguration instead of
+    # once per RingAccept.
+    @property
+    def ring(self) -> tuple[str, ...]:
+        return self._ring
+
+    @ring.setter
+    def ring(self, value) -> None:
+        self._ring = tuple(value)
+        if self.name in self._ring:
+            index = self._ring.index(self.name)
+            self._ring_member = True
+            self._ring_next = (
+                self._ring[index + 1]
+                if index + 1 < len(self._ring)
+                else None
+            )
+        else:
+            self._ring_member = False
+            self._ring_next = None
+
     def __init__(self, name: str, stream: str, ring: tuple[str, ...] = ()):
         self.name = name
         self.stream = stream
         self.ring = tuple(ring)        # acceptor names in ring order
         self.promised = -1             # highest promised ballot (all instances)
         self.log = AcceptorLog()
+        # Scratch effect list reused by the hot accept handlers; every
+        # caller (the actor, the unit and property tests) consumes the
+        # effects before invoking another handler on this core, so one
+        # shared buffer per core is safe and saves a list allocation
+        # per accepted message.
+        self._effects: list[tuple[str, object]] = []
         # Stream positions covered by trimmed instances: a learner that
         # recovers after a trim seeds its token log at this base so that
         # position arithmetic (the merge's logical clock) stays absolute.
@@ -92,7 +120,10 @@ class AcceptorCore:
             instance=msg.instance,
             acceptor=self.name,
         )
-        return [(src, reply)]
+        effects = self._effects
+        effects.clear()
+        effects.append((src, reply))
+        return effects
 
     # -- ring dissemination ------------------------------------------------
 
@@ -107,6 +138,8 @@ class AcceptorCore:
             return []
         self.promised = msg.ballot
         self.log.accept(msg.instance, msg.ballot, msg.batch)
+        if not self._ring_member:
+            raise ValueError(f"{self.name} is not a ring member")
         forwarded = RingAccept(
             stream=msg.stream,
             ballot=msg.ballot,
@@ -114,12 +147,16 @@ class AcceptorCore:
             batch=msg.batch,
             accepted_by=msg.accepted_by + 1,
         )
-        position = self.ring.index(self.name)
-        if position + 1 < len(self.ring):
-            return [(self.ring[position + 1], forwarded)]
+        effects = self._effects
+        effects.clear()
+        ring_next = self._ring_next
+        if ring_next is not None:
+            effects.append((ring_next, forwarded))
+            return effects
         # Ring complete: every acceptor accepted => decided.
         self.log.mark_decided(msg.instance)
-        return [("__decided__", forwarded)]
+        effects.append(("__decided__", forwarded))
+        return effects
 
     # -- learning & recovery -------------------------------------------------
 
@@ -197,16 +234,20 @@ class AcceptorActor(Actor):
         self.recovery_instance_cost = recovery_instance_cost
         # Set by the deployment: who learns decisions in ring mode.
         self.decision_targets: list[str] = []
-
-    def dispatch(self, payload, src):
-        handler_map = {
+        # Bound once; rebuilding this dict per message dominates the
+        # dispatch cost on ring-accept-heavy runs.
+        self._handler_map = {
             Phase1a: self.core.on_phase1a,
             Phase2a: self.core.on_phase2a,
             RingAccept: self.core.on_ring_accept,
             Decision: self.core.on_decision,
             Trim: self.core.on_trim,
         }
-        handler = handler_map.get(type(payload))
+        self._persist_types = frozenset((Phase1a, Phase2a, RingAccept))
+
+    def dispatch(self, payload, src):
+        cls = type(payload)
+        handler = self._handler_map.get(cls)
         if handler is None:
             if isinstance(payload, RecoverRequest):
                 self._serve_recovery(payload, src)
@@ -218,14 +259,17 @@ class AcceptorActor(Actor):
                 f"acceptor {self.name} cannot handle {payload!r}"
             )
         effects = handler(payload, src)
-        needs_persist = isinstance(payload, (Phase1a, Phase2a, RingAccept))
+        needs_persist = cls in self._persist_types
         if needs_persist and not self.store.is_instantaneous:
             size = payload.wire_size()
             done = self.store.write(size)
-            done.callbacks.append(lambda _e: self._emit(effects))
+            # Snapshot: ``effects`` may be the core's reused scratch
+            # list, clobbered by the next dispatch before this write
+            # completes.
+            done.callbacks.append(lambda _e, eff=tuple(effects): self._emit(eff))
         else:
             if needs_persist:
-                self.store.write(payload.wire_size())
+                self.store.write_nowait(payload.wire_size())
             self._emit(effects)
 
     def _emit(self, effects) -> None:
@@ -237,9 +281,13 @@ class AcceptorActor(Actor):
                     instance=message.instance,
                     batch=message.batch,
                 )
-                for target in self.decision_targets:
-                    if target != self.name:
-                        self.send(target, decision)
+                if not self.host.crashed:
+                    size = decision.wire_size()
+                    net_send = self.network.send
+                    name = self.name
+                    for target in self.decision_targets:
+                        if target != name:
+                            net_send(name, target, decision, size)
             else:
                 self.send(dst, message)
 

@@ -94,6 +94,11 @@ class CoordinatorActor(Actor):
         self._throttle_wakeup: Optional[float] = None
         self._proposing = False
         self._processes = []
+        # env.tracer / env.metrics are fixed for the environment's
+        # lifetime; cache them so each probe is one attribute load.
+        self._tracer = env.tracer
+        self._metrics = env.metrics
+        self._batch_scratch: list = []
 
     # -- lifecycle --------------------------------------------------------
 
@@ -160,10 +165,10 @@ class CoordinatorActor(Actor):
 
     def _run_phase1(self) -> None:
         self._phase1_promises: dict[str, Phase1b] = {}
-        tracer = self.env.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.emit(
-                "coord.phase1", self.env.now, coordinator=self.name,
+                "coord.phase1", self.env._now, coordinator=self.name,
                 stream=self.stream, ballot=self.ballot,
             )
         message = Phase1a(
@@ -190,10 +195,10 @@ class CoordinatorActor(Actor):
                 if instance not in adopted or vrnd > adopted[instance][0]:
                     adopted[instance] = (vrnd, batch)
         self.leading = True
-        tracer = self.env.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.emit(
-                "coord.lead", self.env.now, coordinator=self.name,
+                "coord.lead", self.env._now, coordinator=self.name,
                 stream=self.stream, ballot=self.ballot,
                 adopted=len(adopted),
             )
@@ -208,7 +213,7 @@ class CoordinatorActor(Actor):
     def propose(self, token) -> None:
         """Submit one token (value / control message) for ordering."""
         self.positions_proposed += token.positions()
-        tracer = self.env.tracer
+        tracer = self._tracer
         if tracer is not None:
             fields = {
                 "coordinator": self.name,
@@ -221,7 +226,7 @@ class CoordinatorActor(Actor):
             request_id = getattr(token, "request_id", None)
             if request_id is not None:
                 fields["request_id"] = request_id
-            tracer.emit("coord.propose", self.env.now, **fields)
+            tracer.emit("coord.propose", self.env._now, **fields)
         self.pending.append(token)
         self._pump_proposals()
 
@@ -274,7 +279,7 @@ class CoordinatorActor(Actor):
                     )
                 else:
                     self.outstanding[instance] = {
-                        "batch": batch, "sent_at": self.env.now, "pending_cpu": False,
+                        "batch": batch, "sent_at": self.env._now, "pending_cpu": False,
                     }
                     self._send_phase2(instance, batch)
         finally:
@@ -290,15 +295,13 @@ class CoordinatorActor(Actor):
         also caps admission.  An explicit ``value_rate_limit`` (the 30%
         throttle of §VII-C) lowers the cap further.
         """
-        limits = [
-            limit
-            for limit in (
-                self.config.value_rate_limit,
-                float(self.config.lam) if self.config.skip_enabled else None,
-            )
-            if limit is not None
-        ]
-        return min(limits) if limits else None
+        config = self.config
+        limit = config.value_rate_limit
+        if config.skip_enabled:
+            lam = float(config.lam)
+            if limit is None or limit > lam:
+                return lam
+        return limit
 
     def _admit_by_throttle(self) -> bool:
         """Token-bucket throttle on application values (λ and the 30%
@@ -312,7 +315,7 @@ class CoordinatorActor(Actor):
         limit = self.effective_value_limit
         if limit is None or not isinstance(self.pending[0], AppValue):
             return True
-        now = self.env.now
+        now = self.env._now
         # Idle time accrues credit, capped at one full batch.
         burst = self.config.batch_max_tokens / limit
         if self._value_gate_open < now - burst:
@@ -334,22 +337,28 @@ class CoordinatorActor(Actor):
         self._pump_proposals()
 
     def _take_batch(self) -> Batch:
-        tokens = []
+        # Reused scratch list: ``Batch`` copies into a tuple anyway.
+        tokens = self._batch_scratch
+        tokens.clear()
         nbytes = 0
         limit = self.effective_value_limit
-        now = self.env.now
-        while self.pending and len(tokens) < self.config.batch_max_tokens:
-            token = self.pending[0]
+        now = self.env._now
+        pending = self.pending
+        config = self.config
+        max_tokens = config.batch_max_tokens
+        max_bytes = config.batch_max_bytes
+        while pending and len(tokens) < max_tokens:
+            token = pending[0]
             size = getattr(token, "size", 0)
-            if tokens and nbytes + size > self.config.batch_max_bytes:
+            if tokens and nbytes + size > max_bytes:
                 break
-            if isinstance(token, AppValue) and limit is not None:
+            if limit is not None and isinstance(token, AppValue):
                 if self._value_gate_open > now:
                     break   # bucket drained: the rest waits for credit
                 self._value_gate_open = max(
-                    self._value_gate_open, now - self.config.batch_max_tokens / limit
+                    self._value_gate_open, now - max_tokens / limit
                 ) + 1.0 / limit
-            tokens.append(self.pending.popleft())
+            tokens.append(pending.popleft())
             nbytes += size
         return Batch(tokens=tuple(tokens))
 
@@ -358,20 +367,20 @@ class CoordinatorActor(Actor):
         if info is None:
             return
         info["pending_cpu"] = False
-        info["sent_at"] = self.env.now
+        info["sent_at"] = self.env._now
         self._send_phase2(instance, batch)
         self._pump_proposals()
 
     def _send_phase2(self, instance: int, batch: Batch) -> None:
         if instance not in self.outstanding:
             self.outstanding[instance] = {
-                "batch": batch, "sent_at": self.env.now, "pending_cpu": False,
+                "batch": batch, "sent_at": self.env._now, "pending_cpu": False,
             }
         self.outstanding[instance]["acks"] = set()
-        tracer = self.env.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.emit(
-                "coord.phase2", self.env.now, coordinator=self.name,
+                "coord.phase2", self.env._now, coordinator=self.name,
                 stream=self.stream, instance=instance,
                 msg_ids=_batch_msg_ids(batch), positions=batch.positions(),
             )
@@ -418,10 +427,10 @@ class CoordinatorActor(Actor):
         self.decided_instances.add(instance)
         self.outstanding.pop(instance, None)
         self.positions_decided += batch.positions()
-        tracer = self.env.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.emit(
-                "coord.decide", self.env.now, coordinator=self.name,
+                "coord.decide", self.env._now, coordinator=self.name,
                 stream=self.stream, instance=instance,
                 positions=batch.positions(),
             )
@@ -447,15 +456,15 @@ class CoordinatorActor(Actor):
                 return
             if not self.leading:
                 continue
-            deficit = int(self.config.lam * self.env.now) - self.positions_proposed
+            deficit = int(self.config.lam * self.env._now) - self.positions_proposed
             if deficit > 0:
-                tracer = self.env.tracer
+                tracer = self._tracer
                 if tracer is not None:
                     tracer.emit(
-                        "coord.skip", self.env.now, coordinator=self.name,
+                        "coord.skip", self.env._now, coordinator=self.name,
                         stream=self.stream, count=deficit,
                     )
-                metrics = self.env.metrics
+                metrics = self._metrics
                 if metrics is not None:
                     metrics.counter(self.name, "skip_positions").record(deficit)
                 self.propose(SkipToken(count=deficit))
@@ -470,22 +479,22 @@ class CoordinatorActor(Actor):
                 return
             if not self.leading:
                 continue
-            deadline = self.env.now - self.config.retransmit_timeout
+            deadline = self.env._now - self.config.retransmit_timeout
             for instance, info in sorted(self.outstanding.items()):
                 sent_at = info.get("sent_at")
                 if sent_at is not None and sent_at <= deadline:
-                    tracer = self.env.tracer
+                    tracer = self._tracer
                     if tracer is not None:
                         tracer.emit(
-                            "coord.retransmit", self.env.now,
+                            "coord.retransmit", self.env._now,
                             coordinator=self.name, stream=self.stream,
                             instance=instance,
                         )
-                    metrics = self.env.metrics
+                    metrics = self._metrics
                     if metrics is not None:
                         metrics.counter(self.name, "retransmits").record()
                     self._send_phase2(instance, info["batch"])
-                    info["sent_at"] = self.env.now
+                    info["sent_at"] = self.env._now
 
     # -- log management -----------------------------------------------------------
 

@@ -48,6 +48,9 @@ class LearnerCore:
         owner: str = "",
     ):
         self.env = env
+        # Fixed at environment construction; cached for the hot probes.
+        self._tracer = env.tracer
+        self._metrics = env.metrics
         self.config = config
         self.stream = config.name
         self.on_deliver = on_deliver
@@ -103,14 +106,14 @@ class LearnerCore:
             # Start the gap clock only when the gap first appears: live
             # decisions keep arriving while we are stuck, and refreshing
             # the clock on every ingest would starve the repair forever.
-            self._gap_since = self.env.now
+            self._gap_since = self.env._now
 
     # -- recovery -----------------------------------------------------------
 
     def start_recovery(self) -> None:
         """Catch up on everything decided so far (new subscriber path)."""
         self.catching_up = True
-        self._recovery_requested_at = self.env.now
+        self._recovery_requested_at = self.env._now
         self._request_recovery(self.next_instance, -1)
 
     def _request_recovery(self, from_instance: int, to_instance: int) -> None:
@@ -118,16 +121,16 @@ class LearnerCore:
             self._recover_acceptor_rr % len(self.config.acceptors)
         ]
         self._recover_acceptor_rr += 1
-        self._recovery_requested_at = self.env.now
+        self._recovery_requested_at = self.env._now
         self._recovery_page_start = from_instance
-        tracer = self.env.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.emit(
-                "learner.recover.request", self.env.now, owner=self.owner,
+                "learner.recover.request", self.env._now, owner=self.owner,
                 stream=self.stream, from_instance=from_instance,
                 to_instance=to_instance, acceptor=acceptor,
             )
-        metrics = self.env.metrics
+        metrics = self._metrics
         if metrics is not None:
             metrics.counter(self.owner, "catch_up_pages").record()
         self.send(
@@ -140,10 +143,10 @@ class LearnerCore:
         )
 
     def on_recover_reply(self, msg: RecoverReply, src: str) -> None:
-        tracer = self.env.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.emit(
-                "learner.recover.reply", self.env.now, owner=self.owner,
+                "learner.recover.reply", self.env._now, owner=self.owner,
                 stream=self.stream, decided=len(msg.decided),
                 trimmed_below=msg.trimmed_below,
             )
@@ -197,7 +200,7 @@ class LearnerCore:
                 # in a partition: retry towards another acceptor.
                 if (
                     self._recovery_requested_at is not None
-                    and self.env.now - self._recovery_requested_at
+                    and self.env._now - self._recovery_requested_at
                     >= 2 * self.gap_timeout
                 ):
                     self._request_recovery(self.next_instance, -1)
@@ -206,21 +209,21 @@ class LearnerCore:
                 continue
             if (
                 self._gap_since is not None
-                and self.env.now - self._gap_since >= self.gap_timeout
+                and self.env._now - self._gap_since >= self.gap_timeout
             ):
                 gap_end = min(self.buffer)
-                tracer = self.env.tracer
+                tracer = self._tracer
                 if tracer is not None:
                     tracer.emit(
-                        "learner.gap_repair", self.env.now, owner=self.owner,
+                        "learner.gap_repair", self.env._now, owner=self.owner,
                         stream=self.stream, from_instance=self.next_instance,
                         to_instance=gap_end,
                     )
-                metrics = self.env.metrics
+                metrics = self._metrics
                 if metrics is not None:
                     metrics.counter(self.owner, "gap_repairs").record()
                 self._request_recovery(self.next_instance, gap_end)
-                self._gap_since = self.env.now
+                self._gap_since = self.env._now
 
 
 class LearnerActor(Actor):

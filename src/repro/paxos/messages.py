@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..net.messages import Message, WIRE_HEADER_BYTES
+from ..net.messages import FastMessage, Message, WIRE_HEADER_BYTES
 from .types import Batch
 
 __all__ = [
@@ -43,22 +43,25 @@ __all__ = [
 def _batch_wire_size(batch: Optional[Batch]) -> int:
     if batch is None:
         return 1
+    # ``payload_bytes`` is precomputed at Batch construction.
     return 16 + 16 * len(batch.tokens) + batch.payload_bytes
 
 
-@dataclass(frozen=True)
-class Propose(Message):
+class Propose(FastMessage):
     """A client (or the multicast layer) submits one token for ordering."""
 
-    stream: str
-    token: object  # a Token; opaque to Paxos
+    __slots__ = ("stream", "token")
+    _FIELDS = ("stream", "token")
+
+    def __init__(self, stream: str, token: object):
+        self.stream = stream
+        self.token = token   # a Token; opaque to Paxos
 
     def wire_size(self) -> int:
-        size = getattr(self.token, "size", 16)
-        return WIRE_HEADER_BYTES + size
+        return WIRE_HEADER_BYTES + getattr(self.token, "size", 16)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phase1a(Message):
     """Coordinator asks acceptors to promise ballot ``ballot`` for all
     instances >= ``from_instance``."""
@@ -68,7 +71,7 @@ class Phase1a(Message):
     from_instance: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phase1b(Message):
     """Acceptor's promise, reporting previously accepted values."""
 
@@ -84,60 +87,87 @@ class Phase1b(Message):
         )
 
 
-@dataclass(frozen=True)
-class Phase2a(Message):
+class Phase2a(FastMessage):
     """Coordinator proposes ``batch`` for ``instance`` at ``ballot``."""
 
-    stream: str
-    ballot: int
-    instance: int
-    batch: Batch
+    __slots__ = ("stream", "ballot", "instance", "batch")
+    _FIELDS = ("stream", "ballot", "instance", "batch")
+
+    def __init__(self, stream: str, ballot: int, instance: int, batch: Batch):
+        self.stream = stream
+        self.ballot = ballot
+        self.instance = instance
+        self.batch = batch
 
     def wire_size(self) -> int:
         return WIRE_HEADER_BYTES + 16 + _batch_wire_size(self.batch)
 
 
-@dataclass(frozen=True)
-class Phase2b(Message):
+class Phase2b(FastMessage):
     """Acceptor's acceptance of (ballot, instance)."""
 
-    stream: str
-    ballot: int
-    instance: int
-    acceptor: str
+    __slots__ = ("stream", "ballot", "instance", "acceptor")
+    _FIELDS = ("stream", "ballot", "instance", "acceptor")
+
+    def __init__(self, stream: str, ballot: int, instance: int, acceptor: str):
+        self.stream = stream
+        self.ballot = ballot
+        self.instance = instance
+        self.acceptor = acceptor
+
+    def wire_size(self) -> int:
+        # Generic estimate, flattened: header + two ints + two strings.
+        return WIRE_HEADER_BYTES + 16 + len(self.stream) + len(self.acceptor)
 
 
-@dataclass(frozen=True)
-class RingAccept(Message):
+class RingAccept(FastMessage):
     """Phase 2 around the ring: accept and forward.
 
     ``accepted_by`` counts acceptors that have already accepted; when it
     reaches the ring size the value is decided.
     """
 
-    stream: str
-    ballot: int
-    instance: int
-    batch: Batch
-    accepted_by: int
+    __slots__ = ("stream", "ballot", "instance", "batch", "accepted_by")
+    _FIELDS = ("stream", "ballot", "instance", "batch", "accepted_by")
+
+    def __init__(
+        self, stream: str, ballot: int, instance: int, batch: Batch,
+        accepted_by: int,
+    ):
+        self.stream = stream
+        self.ballot = ballot
+        self.instance = instance
+        self.batch = batch
+        self.accepted_by = accepted_by
 
     def wire_size(self) -> int:
-        return WIRE_HEADER_BYTES + 20 + _batch_wire_size(self.batch)
+        batch = self.batch   # never None on the ring path
+        return (
+            WIRE_HEADER_BYTES + 36 + 16 * len(batch.tokens)
+            + batch.payload_bytes
+        )
 
 
-@dataclass(frozen=True)
-class Decision(Message):
+class Decision(FastMessage):
     """A decided instance, disseminated to learners."""
 
-    stream: str
-    instance: int
-    batch: Batch
+    __slots__ = ("stream", "instance", "batch")
+    _FIELDS = ("stream", "instance", "batch")
+
+    def __init__(self, stream: str, instance: int, batch: Batch):
+        self.stream = stream
+        self.instance = instance
+        self.batch = batch
 
     def wire_size(self) -> int:
-        return WIRE_HEADER_BYTES + 8 + _batch_wire_size(self.batch)
+        batch = self.batch   # never None in a decision
+        return (
+            WIRE_HEADER_BYTES + 24 + 16 * len(batch.tokens)
+            + batch.payload_bytes
+        )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoverRequest(Message):
     """Learner asks an acceptor for decided instances in
     ``[from_instance, to_instance)`` (``to_instance`` = -1 means "all
@@ -148,7 +178,7 @@ class RecoverRequest(Message):
     to_instance: int = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoverReply(Message):
     """Acceptor's reply: decided ``(instance, Batch)`` pairs plus the
     acceptor's trim horizon and highest decided instance."""
@@ -167,7 +197,7 @@ class RecoverReply(Message):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Trim(Message):
     """Instruct an acceptor to drop decided instances below ``below``."""
 
@@ -175,14 +205,14 @@ class Trim(Message):
     below: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat(Message):
     """Failure-detector probe."""
 
     nonce: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeartbeatAck(Message):
     """Reply to a :class:`Heartbeat`."""
 

@@ -42,20 +42,52 @@ def fresh_value_id() -> int:
     return next(_ids)
 
 
-@dataclass(frozen=True)
 class AppValue:
-    """One application message multicast to a stream."""
+    """One application message multicast to a stream.
 
-    payload: Any
-    size: int = 128                 # application payload bytes
-    msg_id: int = field(default_factory=fresh_value_id)
-    sender: str = ""
+    Hand-written (not a dataclass): values are minted on every client
+    multicast and the frozen-dataclass construction protocol is
+    measurable at that rate.  Immutable by convention.
+    """
+
+    __slots__ = ("payload", "size", "msg_id", "sender")
+
+    def __init__(
+        self,
+        payload: Any,
+        size: int = 128,                 # application payload bytes
+        msg_id: Optional[int] = None,
+        sender: str = "",
+    ):
+        self.payload = payload
+        self.size = size
+        self.msg_id = fresh_value_id() if msg_id is None else msg_id
+        self.sender = sender
 
     def positions(self) -> int:
         return 1
 
+    def __repr__(self) -> str:
+        return (
+            f"AppValue(payload={self.payload!r}, size={self.size!r}, "
+            f"msg_id={self.msg_id!r}, sender={self.sender!r})"
+        )
 
-@dataclass(frozen=True)
+    def __eq__(self, other: Any) -> Any:
+        if other.__class__ is not AppValue:
+            return NotImplemented
+        return (
+            self.payload == other.payload
+            and self.size == other.size
+            and self.msg_id == other.msg_id
+            and self.sender == other.sender
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.payload, self.size, self.msg_id, self.sender))
+
+
+@dataclass(frozen=True, slots=True)
 class SkipToken:
     """``count`` skipped stream positions (never delivered)."""
 
@@ -65,7 +97,7 @@ class SkipToken:
         return self.count
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubscribeMsg:
     """Request that replication group ``group`` subscribe to ``stream``.
 
@@ -81,7 +113,7 @@ class SubscribeMsg:
         return 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnsubscribeMsg:
     """Request that ``group`` unsubscribe from ``stream``."""
 
@@ -93,7 +125,7 @@ class UnsubscribeMsg:
         return 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareMsg:
     """Hint (§V-C): ``group`` will soon subscribe to ``stream``;
     replicas should start recovering it in the background."""
@@ -109,21 +141,41 @@ class PrepareMsg:
 Token = Union[AppValue, SkipToken, SubscribeMsg, UnsubscribeMsg, PrepareMsg]
 
 
-@dataclass(frozen=True)
 class Batch:
-    """The value decided by one consensus instance."""
+    """The value decided by one consensus instance.
 
-    tokens: tuple = ()
+    Hand-written for construction speed; ``payload_bytes`` is derived
+    from ``tokens`` once here instead of being re-summed on every
+    wire-size computation.  Immutable by convention; equality, hash and
+    repr go by ``tokens`` alone.
+    """
+
+    __slots__ = ("tokens", "payload_bytes")
+
+    def __init__(self, tokens: tuple = (), payload_bytes: int = -1):
+        self.tokens = tokens
+        if payload_bytes < 0:
+            payload_bytes = sum(
+                t.size for t in tokens if isinstance(t, AppValue)
+            )
+        self.payload_bytes = payload_bytes
 
     def positions(self) -> int:
         return token_positions(self.tokens)
 
-    @property
-    def payload_bytes(self) -> int:
-        return sum(t.size for t in self.tokens if isinstance(t, AppValue))
-
     def is_pure_skip(self) -> bool:
         return all(isinstance(t, SkipToken) for t in self.tokens)
+
+    def __repr__(self) -> str:
+        return f"Batch(tokens={self.tokens!r})"
+
+    def __eq__(self, other: Any) -> Any:
+        if other.__class__ is not Batch:
+            return NotImplemented
+        return self.tokens == other.tokens
+
+    def __hash__(self) -> int:
+        return hash(self.tokens)
 
 
 def token_positions(tokens) -> int:

@@ -17,12 +17,19 @@ Design notes
   if nobody catches them.  Errors never pass silently.
 * Interrupts: a process may be interrupted (used for crash injection
   and timeout patterns) which raises :class:`Interrupt` inside it.
+* Hot path: the calendar holds two kinds of entries -- full
+  :class:`Event` objects (waitable, with callback lists) and pooled
+  :class:`_ScheduledCall` records (plain ``fn(*args)`` at an instant,
+  no callback list, recycled through a free list).  Message delivery,
+  throttle wakeups and process resumption at the current instant all
+  use the pooled fast path; the scheduling *order* is identical to the
+  event-based layout, so same-seed runs stay bit-identical.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..obs.trace import current_metrics, current_tracer
@@ -58,6 +65,21 @@ class Interrupt(Exception):
 _PENDING = object()
 
 
+class _ScheduledCall:
+    """A pooled calendar entry: run ``fn(*args)`` at an instant.
+
+    Not an event -- nothing can wait on it, it has no value and no
+    callback list, which is exactly why it is cheap.  Instances are
+    recycled through the environment's free list once executed.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Optional[Callable], args: tuple):
+        self.fn = fn
+        self.args = args
+
+
 class Event:
     """An event that may succeed (with a value) or fail (with an exception).
 
@@ -66,11 +88,14 @@ class Event:
     in attachment order.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -98,18 +123,19 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, next(env._counter), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception."""
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
@@ -124,15 +150,23 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed virtual-time delay."""
+    """An event that fires after a fixed virtual-time delay.
+
+    Construction is flattened (no chained ``__init__``) because a
+    timeout is born triggered: it only exists to sit in the calendar.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env._schedule(self, delay)
 
 
@@ -144,6 +178,8 @@ class Process(Event):
     value; when it fails, the exception is thrown into the generator.
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -151,11 +187,7 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         # Bootstrap: resume the process at the current instant.
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)
-        env._schedule(init)
+        env._schedule_call(self._advance_checked, (True, None))
 
     @property
     def is_alive(self) -> bool:
@@ -171,12 +203,7 @@ class Process(Event):
         if self.triggered:
             raise SimulationError("cannot interrupt a terminated process")
         self._detach_from_target()
-        hit = Event(self.env)
-        hit._ok = False
-        hit._value = Interrupt(cause)
-        hit._defused = True  # the interrupt is delivered, not propagated
-        hit.callbacks.append(self._deliver_interrupt)
-        self.env._schedule(hit)
+        self.env._schedule_call(self._deliver_interrupt, (Interrupt(cause),))
 
     def _detach_from_target(self) -> None:
         if self._target is not None and self._target.callbacks is not None:
@@ -186,30 +213,46 @@ class Process(Event):
                 pass
         self._target = None
 
-    def _deliver_interrupt(self, event: Event) -> None:
+    def _deliver_interrupt(self, exc: Interrupt) -> None:
         # The process may have acquired a (new) wait target between the
         # interrupt being requested and delivered; detach from it now or
         # its later firing would resume a terminated generator.
         if self.triggered:
             return  # terminated in the meantime: nothing to interrupt
         self._detach_from_target()
-        self._resume(event)
+        self._advance(False, exc, None)
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:   # i.e. ``self.triggered``
             # Stale wakeup: an event we were once waiting on fired after
             # the process already terminated (interrupt delivery race).
             if not event._ok:
                 event._defused = True
             return
         self._target = None
+        if event._ok:
+            self._advance(True, event._value, None)
+        else:
+            self._advance(False, event._value, event)
+
+    def _advance_checked(self, ok: bool, value: Any) -> None:
+        """Scheduled-call entry point (bootstrap / already-processed
+        targets); guards against the process having terminated in the
+        meantime (interrupt delivered at the same instant)."""
+        if self.triggered:
+            return
+        self._target = None
+        self._advance(ok, value, None)
+
+    def _advance(self, ok: bool, value: Any, failed_event: Optional[Event]) -> None:
         try:
-            if event._ok:
-                next_event = self._generator.send(event._value)
+            if ok:
+                next_event = self._generator.send(value)
             else:
                 # Mark the failure as handled: it is being delivered.
-                event._defused = True
-                next_event = self._generator.throw(event._value)
+                if failed_event is not None:
+                    failed_event._defused = True
+                next_event = self._generator.throw(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -225,14 +268,12 @@ class Process(Event):
             self.fail(SimulationError(f"process yielded a non-event: {next_event!r}"))
             return
         if next_event.callbacks is None:
-            # Already processed: resume immediately at this instant.
-            immediate = Event(self.env)
-            immediate._ok = next_event._ok
-            immediate._value = next_event._value
-            if not next_event._ok:
-                immediate._defused = True
-            immediate.callbacks.append(self._resume)
-            self.env._schedule(immediate)
+            # Already processed: resume immediately at this instant.  A
+            # processed failure was consumed by whoever processed it, so
+            # the re-delivery here needs no defuse bookkeeping.
+            self.env._schedule_call(
+                self._advance_checked, (next_event._ok, next_event._value)
+            )
         else:
             self._target = next_event
             next_event.callbacks.append(self._resume)
@@ -240,6 +281,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_done")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -271,6 +314,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers as soon as any constituent event triggers."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -284,6 +329,8 @@ class AnyOf(_Condition):
 class AllOf(_Condition):
     """Triggers when all constituent events have triggered."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -294,6 +341,11 @@ class AllOf(_Condition):
         self._done += 1
         if self._done == len(self._events):
             self.succeed(self._collect())
+
+
+# Free-list bound: enough to absorb bursts of same-instant deliveries
+# without letting an idle pool pin memory.
+_CALL_POOL_LIMIT = 512
 
 
 class Environment:
@@ -314,8 +366,9 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[tuple[float, int, Any]] = []
         self._counter = itertools.count()
+        self._call_pool: list[_ScheduledCall] = []
         # Observability: adopt the process-wide tracer / metrics registry
         # at construction (see repro.obs.trace).  Both default to None;
         # probe sites guard with a single `is None` test.
@@ -330,7 +383,18 @@ class Environment:
         return self._now
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+        heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def _schedule_call(self, fn: Callable, args: tuple, delay: float = 0.0) -> None:
+        """Schedule ``fn(*args)`` via the pooled fast path."""
+        pool = self._call_pool
+        if pool:
+            call = pool.pop()
+            call.fn = fn
+            call.args = args
+        else:
+            call = _ScheduledCall(fn, args)
+        heappush(self._queue, (self._now + delay, next(self._counter), call))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Return an event that fires ``delay`` time units from now."""
@@ -357,22 +421,20 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def call_later(self, delay: float, fn: Callable, *args: Any) -> Event:
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` to run after ``delay`` time units.
 
-        Cheaper than spawning a process; used on hot paths such as
-        message delivery.  The returned event fires right after ``fn``.
+        The hot-path scheduling primitive (message delivery, wakeups):
+        it allocates no event and no callback list -- the calendar entry
+        is a pooled record recycled after it runs.  Nothing can wait on
+        a scheduled call; spawn a process or use :meth:`timeout` when a
+        waitable event is needed.
         """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        event = Event(self)
-        event._ok = True
-        event._value = None
-        event.callbacks.append(lambda _evt: fn(*args))
-        self._schedule(event, delay)
-        return event
+        self._schedule_call(fn, args, delay)
 
-    def call_at(self, when: float, fn: Callable, *args: Any) -> Event:
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute virtual time ``when``.
 
         Convenience over :meth:`call_later` for pre-compiled schedules
@@ -380,7 +442,7 @@ class Environment:
         """
         if when < self._now:
             raise ValueError(f"when ({when}) lies in the past (now={self._now})")
-        return self.call_later(when - self._now, fn, *args)
+        self._schedule_call(fn, args, when - self._now)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -390,12 +452,21 @@ class Environment:
         """Process exactly one event from the calendar."""
         if not self._queue:
             raise SimulationError("no more events")
-        when, _, event = heapq.heappop(self._queue)
+        when, _, event = heappop(self._queue)
         self._now = when
+        if event.__class__ is _ScheduledCall:
+            fn, args = event.fn, event.args
+            pool = self._call_pool
+            if len(pool) < _CALL_POOL_LIMIT:
+                event.fn = None
+                event.args = ()
+                pool.append(event)
+            fn(*args)
+            return
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        if not event._ok and not event._defused:
             # A failure nobody consumed: crash the simulation loudly.
             raise event._value
 
@@ -404,7 +475,14 @@ class Environment:
 
         When ``until`` is given, the clock is advanced to exactly
         ``until`` even if no event is scheduled at that instant.
+
+        The drain loop is inlined (rather than delegating to
+        :meth:`step`) -- it is the single hottest loop in the
+        reproduction and the method-call overhead is measurable.
         """
+        queue = self._queue
+        pool = self._call_pool
+        stop = None
         if until is not None:
             if until < self._now:
                 raise ValueError(
@@ -414,13 +492,25 @@ class Environment:
             stop._ok = True
             stop._value = None
             self._schedule(stop, until - self._now)
-            while self._queue:
-                if self._queue[0][2] is stop:
-                    self._now = until
-                    heapq.heappop(self._queue)
-                    return
-                self.step()
+        while queue:
+            t, _seq, event = heappop(queue)
+            if event is stop:
+                self._now = until
+                return
+            self._now = t
+            if event.__class__ is _ScheduledCall:
+                fn, args = event.fn, event.args
+                if len(pool) < _CALL_POOL_LIMIT:
+                    event.fn = None
+                    event.args = ()
+                    pool.append(event)
+                fn(*args)
+                continue
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                # A failure nobody consumed: crash the simulation loudly.
+                raise event._value
+        if until is not None:
             self._now = until
-            return
-        while self._queue:
-            self.step()

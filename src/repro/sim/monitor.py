@@ -128,7 +128,7 @@ class Counter(_BoundedSamples):
 
     def record(self, weight: float = 1.0) -> None:
         """Record ``weight`` occurrences at the current instant."""
-        self._times.append(self.env.now)
+        self._times.append(self.env._now)
         self._weights.append(weight)
         self._total += weight
         if self.window is not None or self.max_samples is not None:
@@ -189,7 +189,7 @@ class Series(_BoundedSamples):
         return (self._times, self._values)
 
     def record(self, value: float) -> None:
-        self._times.append(self.env.now)
+        self._times.append(self.env._now)
         self._values.append(value)
         if self.window is not None or self.max_samples is not None:
             self._evict()
@@ -230,12 +230,12 @@ class UtilisationProbe:
     def busy(self) -> None:
         """Mark the server busy from now on (idempotent)."""
         if self._busy_since is None:
-            self._busy_since = self.env.now
+            self._busy_since = self.env._now
 
     def idle(self) -> None:
         """Mark the server idle from now on (idempotent)."""
         if self._busy_since is not None:
-            self._episodes.append((self._busy_since, self.env.now))
+            self._episodes.append((self._busy_since, self.env._now))
             self._busy_since = None
 
     def utilisation_between(self, start: float, end: float) -> float:

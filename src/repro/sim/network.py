@@ -14,35 +14,53 @@ deployment:
 Hosts are looked up by name.  Each host owns an unbounded inbox
 (:class:`repro.sim.queues.Store`) from which its actor processes drain
 :class:`Envelope` objects.
+
+Hot path: :meth:`Network.send` compiles the per-``(src, dst)`` routing
+decision -- host objects, link spec, matching fault rules, partition
+membership -- into a cached dispatch entry the first time a pair is
+used, so the common no-fault send is one dict hit instead of a rule
+scan.  Every mutation of the routing state (``set_link``, ``add_fault``
+/ ``remove_fault``, ``partition`` / ``unpartition`` / ``heal``)
+invalidates the cache.  The order of RNG draws is identical to the
+uncompiled path, so seeded runs stay bit-identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from dataclasses import dataclass
+from typing import Any, Iterable, NamedTuple, Optional
 
-from .core import Environment
+from heapq import heappush
+
+from .core import Environment, _ScheduledCall
 from .queues import Store
 from .rng import RngRegistry
 
 __all__ = ["Envelope", "FaultRule", "Host", "Network", "LinkSpec"]
 
 
-@dataclass(frozen=True)
-class Envelope:
-    """A message in flight, as seen by the receiving actor."""
+_tuple_new = tuple.__new__
+
+
+class Envelope(NamedTuple):
+    """A message in flight, as seen by the receiving actor.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    network send, and tuple construction happens in C while the frozen
+    dataclass protocol pays a guarded ``object.__setattr__`` per field.
+    """
 
     src: str
     dst: str
     payload: Any
-    size: int          # wire size in bytes, for bandwidth accounting
+    size: int                  # wire size in bytes, for bandwidth accounting
     sent_at: float
     delivered_at: float
     dst_incarnation: int = 0   # receiver reboot count at send time
     duplicated: bool = False   # injected duplicate copy
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkSpec:
     """Transmission characteristics of a directed link."""
 
@@ -52,7 +70,7 @@ class LinkSpec:
     loss: float = 0.0                # independent drop probability
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultRule:
     """A transient fault overlay applied on top of the link specs.
 
@@ -103,6 +121,8 @@ class Host:
     incarnation never reach the new process).
     """
 
+    __slots__ = ("env", "name", "inbox", "crashed", "incarnation", "actor")
+
     def __init__(self, env: Environment, name: str):
         self.env = env
         self.name = name
@@ -130,6 +150,42 @@ class Host:
         return f"<Host {self.name} ({state})>"
 
 
+class _LinkState:
+    """Mutable per-directed-link serialisation & FIFO state.
+
+    Lives in a persistent registry (never cleared on route-cache
+    invalidation): the transmission horizon and FIFO arrival horizon of
+    a link must survive fault-rule and topology changes.
+    """
+
+    __slots__ = ("busy_until", "last_arrival")
+
+    def __init__(self):
+        self.busy_until = 0.0
+        self.last_arrival = 0.0
+
+
+class _Route:
+    """Compiled routing decision for one directed ``(src, dst)`` pair.
+
+    Everything that is a pure function of the topology/fault state is
+    resolved once; only crash flags (read live off the host objects) and
+    the RNG draws happen per send.  ``state`` is the link's persistent
+    mutable state, resolved here so the send path needs no key-tuple
+    allocation or dict probe.
+    """
+
+    __slots__ = ("sender", "receiver", "spec", "rules", "partitioned", "state")
+
+    def __init__(self, sender, receiver, spec, rules, partitioned, state):
+        self.sender = sender
+        self.receiver = receiver
+        self.spec = spec
+        self.rules = rules              # tuple of matching FaultRules
+        self.partitioned = partitioned
+        self.state = state
+
+
 class Network:
     """Routes messages between hosts with latency/bandwidth/loss models."""
 
@@ -150,11 +206,15 @@ class Network:
         self.default_link = default_link or LinkSpec()
         self._hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], LinkSpec] = {}
-        # Per-directed-link state for serialisation & FIFO delivery.
-        self._link_busy_until: dict[tuple[str, str], float] = {}
-        self._link_last_arrival: dict[tuple[str, str], float] = {}
+        # Per-directed-link state for serialisation & FIFO delivery;
+        # persists across route-cache invalidations.
+        self._link_state: dict[tuple[str, str], _LinkState] = {}
         self._partitions: set[frozenset[str]] = set()
         self._fault_rules: list[FaultRule] = []
+        # (src, dst) -> compiled _Route; flushed on any routing change.
+        # Nested by source: avoids allocating a (src, dst) key tuple
+        # on every send.
+        self._routes: dict[str, dict[str, _Route]] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -182,6 +242,7 @@ class Network:
     def set_link(self, src: str, dst: str, spec: LinkSpec) -> None:
         """Override characteristics of the directed link src -> dst."""
         self._links[(src, dst)] = spec
+        self._routes.clear()
 
     def link(self, src: str, dst: str) -> LinkSpec:
         return self._links.get((src, dst), self.default_link)
@@ -193,6 +254,7 @@ class Network:
         for a in group_a:
             for b in group_b:
                 self._partitions.add(frozenset((a, b)))
+        self._routes.clear()
         tracer = self.env.tracer
         if tracer is not None:
             tracer.emit(
@@ -209,6 +271,7 @@ class Network:
         for a in group_a:
             for b in group_b:
                 self._partitions.discard(frozenset((a, b)))
+        self._routes.clear()
         tracer = self.env.tracer
         if tracer is not None:
             tracer.emit(
@@ -219,16 +282,18 @@ class Network:
     def heal(self) -> None:
         """Remove all partitions."""
         self._partitions.clear()
+        self._routes.clear()
         tracer = self.env.tracer
         if tracer is not None:
             tracer.emit("net.heal", self.env.now, cat="fault")
 
     def is_partitioned(self, a: str, b: str) -> bool:
-        return frozenset((a, b)) in self._partitions
+        return bool(self._partitions) and frozenset((a, b)) in self._partitions
 
     def add_fault(self, rule: FaultRule) -> FaultRule:
         """Install a transient fault overlay; returns it for removal."""
         self._fault_rules.append(rule)
+        self._routes.clear()
         return rule
 
     def remove_fault(self, rule: FaultRule) -> None:
@@ -237,6 +302,7 @@ class Network:
             self._fault_rules.remove(rule)
         except ValueError:
             pass
+        self._routes.clear()
 
     # -- sending ------------------------------------------------------
 
@@ -248,6 +314,25 @@ class Network:
                 type=type(payload).__name__, reason=reason,
             )
 
+    def _compile_route(self, src: str, dst: str) -> _Route:
+        key = (src, dst)
+        state = self._link_state.get(key)
+        if state is None:
+            state = self._link_state[key] = _LinkState()
+        route = _Route(
+            sender=self.host(src),
+            receiver=self.host(dst),
+            spec=self.link(src, dst),
+            rules=tuple(r for r in self._fault_rules if r.matches(src, dst)),
+            partitioned=self.is_partitioned(src, dst),
+            state=state,
+        )
+        by_dst = self._routes.get(src)
+        if by_dst is None:
+            by_dst = self._routes[src] = {}
+        by_dst[dst] = route
+        return route
+
     def send(self, src: str, dst: str, payload: Any, size: int = 128) -> None:
         """Send ``payload`` from ``src`` to ``dst``.
 
@@ -258,13 +343,15 @@ class Network:
         if size < 0:
             raise ValueError("size must be non-negative")
         self.messages_sent += 1
-        sender = self.host(src)
-        receiver = self.host(dst)
-        if sender.crashed or receiver.crashed or self.is_partitioned(src, dst):
+        by_dst = self._routes.get(src)
+        route = by_dst.get(dst) if by_dst is not None else None
+        if route is None:
+            route = self._compile_route(src, dst)
+        if route.sender.crashed or route.receiver.crashed or route.partitioned:
             self.messages_dropped += 1
             reason = (
-                "src_crashed" if sender.crashed
-                else "dst_crashed" if receiver.crashed
+                "src_crashed" if route.sender.crashed
+                else "dst_crashed" if route.receiver.crashed
                 else "partitioned"
             )
             self._trace_drop(src, dst, payload, reason)
@@ -275,36 +362,39 @@ class Network:
                 "net.send", self.env.now, src=src, dst=dst,
                 type=type(payload).__name__, size=size,
             )
-        spec = self.link(src, dst)
+        spec = route.spec
         if spec.loss > 0 and self._rng.random() < spec.loss:
             self.messages_dropped += 1
             self._trace_drop(src, dst, payload, "link_loss")
             return
-        rules = [r for r in self._fault_rules if r.matches(src, dst)]
+        rules = route.rules
         for rule in rules:
             if rule.loss > 0 and self._rng.random() < rule.loss:
                 self.messages_dropped += 1
                 self._trace_drop(src, dst, payload, "fault_loss")
                 return
-        now = self.env.now
-        key = (src, dst)
+        now = self.env._now
+        state = route.state
         if spec.bandwidth is not None:
-            start = max(now, self._link_busy_until.get(key, 0.0))
+            start = state.busy_until
+            if start < now:
+                start = now
             tx_done = start + size / spec.bandwidth
-            self._link_busy_until[key] = tx_done
+            state.busy_until = tx_done
         else:
             tx_done = now
         latency = spec.latency
         if spec.jitter > 0:
             latency += self._rng.uniform(0.0, spec.jitter)
-        for rule in rules:
-            latency += rule.extra_latency
+        if rules:
+            for rule in rules:
+                latency += rule.extra_latency
         arrival = tx_done + latency
         # Injected reordering: the message escapes the TCP FIFO -- its
         # arrival is perturbed by up to ``reorder_spread`` in either
         # direction and neither respects nor advances the link's FIFO
         # horizon, so it may overtake (or be overtaken by) neighbours.
-        reordered = any(
+        reordered = rules and any(
             rule.reorder > 0 and self._rng.random() < rule.reorder
             for rule in rules
         )
@@ -314,21 +404,37 @@ class Network:
             self.messages_reordered += 1
         else:
             # TCP-like FIFO per link: never deliver before a prior message.
-            arrival = max(arrival, self._link_last_arrival.get(key, 0.0))
-            self._link_last_arrival[key] = arrival
-        envelope = Envelope(
-            src=src, dst=dst, payload=payload, size=size,
-            sent_at=now, delivered_at=arrival,
-            dst_incarnation=receiver.incarnation,
+            if arrival < state.last_arrival:
+                arrival = state.last_arrival
+            state.last_arrival = arrival
+        # ``tuple.__new__`` directly: the NamedTuple-generated __new__ is
+        # a Python-level lambda and its frame shows up in profiles at
+        # this call rate.  Field order matches the Envelope declaration.
+        envelope = _tuple_new(Envelope, (
+            src, dst, payload, size, now, arrival,
+            route.receiver.incarnation, False,
+        ))
+        # Inlined env._schedule_call: one per send makes the method-call
+        # overhead measurable.  ``now + (arrival - now)`` keeps the exact
+        # floating-point schedule time the un-inlined path produced.
+        env = self.env
+        pool = env._call_pool
+        if pool:
+            call = pool.pop()
+            call.fn = self._deliver
+            call.args = (envelope,)
+        else:
+            call = _ScheduledCall(self._deliver, (envelope,))
+        heappush(
+            env._queue, (now + (arrival - now), next(env._counter), call)
         )
-        self.env.call_later(arrival - now, self._deliver, envelope)
         for rule in rules:
             if rule.duplicate > 0 and self._rng.random() < rule.duplicate:
                 offset = self._rng.uniform(0.0, rule.reorder_spread)
                 copy = Envelope(
                     src=src, dst=dst, payload=payload, size=size,
                     sent_at=now, delivered_at=arrival + offset,
-                    dst_incarnation=receiver.incarnation, duplicated=True,
+                    dst_incarnation=route.receiver.incarnation, duplicated=True,
                 )
                 self.messages_duplicated += 1
                 if tracer is not None:
@@ -336,13 +442,16 @@ class Network:
                         "net.duplicate", now, src=src, dst=dst,
                         type=type(payload).__name__,
                     )
-                self.env.call_later(arrival + offset - now, self._deliver, copy)
+                self.env._schedule_call(
+                    self._deliver, (copy,), arrival + offset - now
+                )
                 break   # at most one injected copy per message
 
     def broadcast(self, src: str, dsts: list[str], payload: Any, size: int = 128) -> None:
         """Unicast ``payload`` to every destination in ``dsts``."""
+        send = self.send
         for dst in dsts:
-            self.send(src, dst, payload, size)
+            send(src, dst, payload, size)
 
     def _deliver(self, envelope: Envelope) -> None:
         receiver = self._hosts.get(envelope.dst)
@@ -362,7 +471,7 @@ class Network:
                 envelope.src, envelope.dst, envelope.payload, "stale_incarnation"
             )
             return
-        if self.is_partitioned(envelope.src, envelope.dst):
+        if self._partitions and self.is_partitioned(envelope.src, envelope.dst):
             self.messages_dropped += 1
             self._trace_drop(
                 envelope.src, envelope.dst, envelope.payload, "partitioned"

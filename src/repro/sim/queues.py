@@ -11,7 +11,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Optional
 
-from .core import Environment, Event, SimulationError
+from heapq import heappush
+
+from .core import _PENDING, Environment, Event, SimulationError
 
 __all__ = ["Store", "QueueFull"]
 
@@ -30,6 +32,8 @@ class Store:
     capacity:
         Maximum number of buffered items; ``None`` means unbounded.
     """
+
+    __slots__ = ("env", "capacity", "_items", "_getters", "_putters")
 
     def __init__(self, env: Environment, capacity: Optional[int] = None):
         if capacity is not None and capacity <= 0:
@@ -64,8 +68,18 @@ class Store:
 
     def put_nowait(self, item: Any) -> None:
         """Insert ``item`` immediately or raise :class:`QueueFull`."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
+        getters = self._getters
+        if getters:
+            event = getters.popleft()
+            # Inlined ``event.succeed(item)``: this is the per-message
+            # delivery path and the extra frame is measurable.
+            if event._value is _PENDING:
+                event._ok = True
+                event._value = item
+                env = event.env
+                heappush(env._queue, (env._now, next(env._counter), event))
+            else:
+                event.succeed(item)   # unreachable; keeps the error path
             return
         if self.capacity is not None and len(self._items) >= self.capacity:
             raise QueueFull(f"store at capacity {self.capacity}")
@@ -73,10 +87,17 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        event = Event(self.env)
-        if self._items:
-            event.succeed(self._items.popleft())
-            self._admit_putter()
+        env = self.env
+        event = Event(env)
+        items = self._items
+        if items:
+            # Inlined ``event.succeed(...)`` -- the event is fresh, so
+            # the double-trigger guard cannot fire.
+            event._ok = True
+            event._value = items.popleft()
+            heappush(env._queue, (env._now, next(env._counter), event))
+            if self._putters:
+                self._admit_putter()
         else:
             self._getters.append(event)
         return event

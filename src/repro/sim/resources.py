@@ -39,28 +39,27 @@ class Server:
     @property
     def backlog_seconds(self) -> float:
         """Seconds of queued work ahead of a request issued now."""
-        return max(0.0, self._free_at - self.env.now)
+        return max(0.0, self._free_at - self.env._now)
 
     def request(self, cost: float = 1.0) -> Event:
         """Enqueue ``cost`` units of work; event fires when done."""
         if cost < 0:
             raise ValueError("cost must be non-negative")
-        now = self.env.now
+        now = self.env._now
         start = max(now, self._free_at)
         service = cost / self.rate
         done_at = start + service
         self._free_at = done_at
         self.probe.busy()
         event = Event(self.env)
-
-        def _finish():
-            self.completed += 1
-            if self.env.now >= self._free_at:
-                self.probe.idle()
-            event.succeed()
-
-        self.env.call_later(done_at - now, _finish)
+        self.env._schedule_call(self._finish, (event,), done_at - now)
         return event
+
+    def _finish(self, event: Event) -> None:
+        self.completed += 1
+        if self.env._now >= self._free_at:
+            self.probe.idle()
+        event.succeed()
 
     def utilisation_between(self, start: float, end: float) -> float:
         return self.probe.utilisation_between(start, end)

@@ -9,9 +9,10 @@ checkpoint, then replays the stream from the checkpoint position.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Optional
+
+from .snapshot import structural_copy
 
 __all__ = ["Checkpoint", "CheckpointStore"]
 
@@ -39,14 +40,14 @@ class CheckpointStore:
         self._checkpoints: list[Checkpoint] = []
 
     def save(self, position: int, state: Any, size_bytes: int = 0) -> Checkpoint:
-        """Snapshot ``state`` (deep-copied) at ``position``."""
+        """Snapshot ``state`` (structurally copied) at ``position``."""
         if self._checkpoints and position < self._checkpoints[-1].position:
             raise ValueError(
                 f"checkpoint position {position} moves backwards "
                 f"(latest is {self._checkpoints[-1].position})"
             )
         checkpoint = Checkpoint(
-            position=position, state=copy.deepcopy(state), size_bytes=size_bytes
+            position=position, state=structural_copy(state), size_bytes=size_bytes
         )
         self._checkpoints.append(checkpoint)
         del self._checkpoints[: -self._keep]

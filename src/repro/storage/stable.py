@@ -51,6 +51,10 @@ class StableStore:
         )
         self.writes = 0
         self.bytes_written = 0
+        # Fixed at construction: True when writes complete at the
+        # current instant (plain attribute -- the acceptor checks it
+        # per persisted message).
+        self.is_instantaneous = write_latency == 0 and self._device is None
 
     def write(self, nbytes: int) -> Event:
         """Persist ``nbytes``; the returned event fires when durable."""
@@ -74,7 +78,15 @@ class StableStore:
         event.succeed()
         return event
 
-    @property
-    def is_instantaneous(self) -> bool:
-        """True when writes complete at the current instant."""
-        return self.write_latency == 0 and self._device is None
+    def write_nowait(self, nbytes: int) -> None:
+        """Account an instantaneous write without allocating an event.
+
+        Only valid when :attr:`is_instantaneous` is true; the classic
+        :meth:`write` path returns a calendar-scheduled event even for
+        zero-latency writes, which costs a heap round-trip per persisted
+        message for nothing.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self.writes += 1
+        self.bytes_written += nbytes
