@@ -11,9 +11,12 @@ Usage::
     python -m repro faults run <scenario> [--seed 1] [--seeds N]
     python -m repro trace <experiment> --out trace.jsonl [--categories ...]
     python -m repro stats trace.jsonl
+    python -m repro stats metrics.json
     python -m repro validate-trace trace.jsonl
     python -m repro bench [--quick] [--profile] [--out BENCH.json]
                           [--baseline BENCH_baseline.json] [--threshold 0.25]
+    python -m repro live [--streams 2] [--replicas 3] [--duration 5]
+                         [--rate 200] [--metrics-out metrics.json]
 
 Each experiment command runs on the simulator and prints the
 paper-vs-measured comparison plus sparkline series; ``faults`` runs a
@@ -26,6 +29,10 @@ per-stage latency percentiles; ``validate-trace`` checks a trace
 against the event schema (the CI smoke test).  ``bench`` runs the
 performance microbenchmark suite (see ``docs/PERFORMANCE.md``) and can
 compare against a committed baseline for the CI perf-smoke job.
+``live`` boots a real asyncio/TCP cluster (see ``docs/RUNTIME.md``),
+drives a workload with a runtime subscribe, and prints the agreement /
+latency summary; ``stats`` also reads the metrics dump a live run
+writes with ``--metrics-out``.
 """
 
 from __future__ import annotations
@@ -200,9 +207,31 @@ def _trace(args) -> int:
     return 0
 
 
+def _stats_metrics_dump(path: str, data: dict) -> int:
+    from .obs import rows_from_dump
+
+    rows = rows_from_dump(data)
+    print(section(f"Metrics dump: {path}"))
+    print(plain_table(("actor", "metric", "kind", "value"), rows))
+    return 0
+
+
 def _stats(args) -> int:
-    from .obs import STAGES, LifecycleIndex
+    import json
+
+    from .obs import METRICS_DUMP_FORMAT, STAGES, LifecycleIndex
     from .sim.monitor import percentile
+
+    # `stats` reads both artifact kinds: a trace JSONL (from `trace`)
+    # and a JSON metrics dump (from `live --metrics-out`).  Sniff the
+    # format marker to tell them apart.
+    try:
+        with open(args.trace) as fh:
+            data = json.load(fh)
+    except (ValueError, UnicodeDecodeError):
+        data = None
+    if isinstance(data, dict) and data.get("format") == METRICS_DUMP_FORMAT:
+        return _stats_metrics_dump(args.trace, data)
 
     index = LifecycleIndex.from_jsonl(args.trace)
     complete, delivered = index.coverage()
@@ -320,6 +349,45 @@ def _bench(args) -> int:
     return status
 
 
+def _live(args) -> int:
+    from .obs import MetricsRegistry
+    from .obs.trace import installed
+    from .runtime import LiveConfig, run_live
+
+    config = LiveConfig(
+        streams=args.streams,
+        replicas=args.replicas,
+        duration=args.duration,
+        rate=args.rate,
+        metrics_out=args.metrics_out,
+    )
+    print(section(
+        f"live: {config.streams} streams x {config.replicas} replicas "
+        f"over localhost TCP for {config.duration:g} s"
+    ))
+    with installed(metrics=MetricsRegistry()):
+        report = run_live(config)
+    print(report.summary())
+    rows = [
+        (name, str(count))
+        for name, count in sorted(report.delivered_per_replica.items())
+    ]
+    rows += [
+        (f"transport {name}", str(value))
+        for name, value in sorted(report.transport_counters.items())
+    ]
+    print()
+    print(plain_table(("replica / counter", "delivered"), rows))
+    for violation in report.violations:
+        print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
+    for failure in report.kernel_failures:
+        print(f"KERNEL FAILURE: {failure}", file=sys.stderr)
+    if args.metrics_out:
+        print(f"\nmetrics -> {args.metrics_out} "
+              f"(read with `python -m repro stats {args.metrics_out}`)")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -396,8 +464,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=0.25,
                        help="regression threshold as a fraction (default 0.25)")
 
+    live = sub.add_parser(
+        "live",
+        help="run a real asyncio/TCP cluster with a runtime subscribe "
+             "(docs/RUNTIME.md)",
+    )
+    live.add_argument("--streams", type=int, default=2,
+                      help="number of Paxos streams (default 2)")
+    live.add_argument("--replicas", type=int, default=3,
+                      help="replicas in the group (default 3)")
+    live.add_argument("--duration", type=float, default=5.0,
+                      help="workload wall seconds (default 5)")
+    live.add_argument("--rate", type=float, default=200.0,
+                      help="client multicasts per second (default 200)")
+    live.add_argument("--metrics-out", default=None,
+                      help="write a JSON metrics dump here "
+                           "(readable by `stats`)")
+
     for name, p in sub.choices.items():
-        if name in ("faults", "stats", "validate-trace", "bench"):
+        # Live runs are wall-clock and nondeterministic: no --seed.
+        if name in ("faults", "stats", "validate-trace", "bench", "live"):
             continue
         p.add_argument("--seed", type=int, default=1)
         if name in ("provisioning", "all"):
@@ -415,6 +501,7 @@ _DISPATCH = {
     "stats": _stats,
     "validate-trace": _validate_trace,
     "bench": _bench,
+    "live": _live,
 }
 
 

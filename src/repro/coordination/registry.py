@@ -18,8 +18,7 @@ from typing import Any, Callable, Optional
 
 from ..net.actor import Actor
 from ..net.messages import Message
-from ..sim.core import Environment
-from ..sim.network import Network
+from ..runtime.kernel import Kernel, Transport
 
 __all__ = [
     "RegistryClient",
@@ -76,7 +75,7 @@ class WatchEvent(Message):
 class RegistryService(Actor):
     """A single versioned configuration store with persistent watches."""
 
-    def __init__(self, env: Environment, network: Network, name: str = "registry"):
+    def __init__(self, env: Kernel, network: Transport, name: str = "registry"):
         super().__init__(env, network, name)
         self._data: dict[str, tuple[Any, int]] = {}
         self._watchers: dict[str, list[str]] = {}

@@ -26,6 +26,7 @@ from ..multicast.api import MulticastClient
 from ..multicast.replica import MulticastReplica
 from ..multicast.stream import StreamDeployment
 from ..paxos.config import StreamConfig
+from ..runtime.kernel import Kernel, Transport
 from ..sim.core import Environment
 from ..sim.network import LinkSpec, Network
 from ..sim.rng import RngRegistry
@@ -51,12 +52,21 @@ class MulticastCluster:
         lam: int = 500,
         delta_t: float = 0.05,
         n_acceptors: int = 3,
+        kernel: Optional[Kernel] = None,
+        transport: Optional[Transport] = None,
         **config_overrides,
     ):
-        self.env = Environment()
+        # A caller may inject an alternative execution backend (e.g. the
+        # live asyncio kernel + TCP transport); the deterministic
+        # simulator stays the default.
+        self.env: Kernel = kernel if kernel is not None else Environment()
         self.rng = RngRegistry(seed)
-        self.network = Network(
-            self.env, rng=self.rng, default_link=LinkSpec(latency=link_latency)
+        self.network: Transport = (
+            transport
+            if transport is not None
+            else Network(
+                self.env, rng=self.rng, default_link=LinkSpec(latency=link_latency)
+            )
         )
         self.lam = lam
         self.delta_t = delta_t
@@ -148,13 +158,19 @@ class KvCluster:
         link_bandwidth: Optional[float] = None,
         lam: int = 4000,
         delta_t: float = 0.100,
+        kernel: Optional[Kernel] = None,
+        transport: Optional[Transport] = None,
     ):
-        self.env = Environment()
+        self.env: Kernel = kernel if kernel is not None else Environment()
         self.rng = RngRegistry(seed)
-        self.network = Network(
-            self.env,
-            rng=self.rng,
-            default_link=LinkSpec(latency=link_latency, bandwidth=link_bandwidth),
+        self.network: Transport = (
+            transport
+            if transport is not None
+            else Network(
+                self.env,
+                rng=self.rng,
+                default_link=LinkSpec(latency=link_latency, bandwidth=link_bandwidth),
+            )
         )
         self.registry = RegistryService(self.env, self.network)
         self.registry.start()

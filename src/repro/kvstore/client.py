@@ -22,9 +22,8 @@ from ..multicast.stream import StreamDeployment
 from ..net.actor import Actor
 from ..paxos.messages import Propose
 from ..paxos.types import AppValue
-from ..sim.core import AnyOf, Environment, Interrupt
-from ..sim.monitor import Counter, Series
-from ..sim.network import Network
+from ..metrics import Counter, Series
+from ..runtime.kernel import Interrupt, Kernel, Transport
 from ..workload.generators import KeyspaceWorkload
 from .commands import CommandReply, DeleteCmd, GetCmd, PutCmd, RangeCmd, TxnCmd
 from .partitioning import PartitionMap
@@ -39,8 +38,8 @@ class KvClient(Actor):
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         name: str,
         directory: Mapping[str, StreamDeployment],
         partition_map: PartitionMap,
@@ -179,7 +178,7 @@ class KvClient(Actor):
                 ),
             )
             expiry = self.env.timeout(self.timeout)
-            yield AnyOf(self.env, [done, expiry])
+            yield self.env.any_of([done, expiry])
             if done.triggered:
                 break
             # Timed out: drop the stale wait, re-route under the

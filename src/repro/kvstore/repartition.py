@@ -25,7 +25,7 @@ from ..multicast.api import MulticastClient
 from ..multicast.stream import StreamDeployment
 from ..paxos.messages import Propose
 from ..paxos.types import AppValue
-from ..sim.core import Environment
+from ..runtime.kernel import Kernel
 from .client import PARTITION_MAP_KEY
 from .commands import MapChangeCmd
 from .partitioning import Partition, PartitionMap
@@ -38,7 +38,7 @@ class RepartitionOrchestrator:
 
     def __init__(
         self,
-        env: Environment,
+        env: Kernel,
         control_client: MulticastClient,
         directory: Mapping[str, StreamDeployment],
         registry: Optional[RegistryService] = None,

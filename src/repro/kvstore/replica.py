@@ -26,10 +26,9 @@ from typing import Mapping, Optional
 from ..multicast.replica import MulticastReplica
 from ..multicast.stream import StreamDeployment
 from ..paxos.types import AppValue
-from ..sim.core import Environment
-from ..sim.monitor import Counter
-from ..sim.network import Network
-from ..sim.resources import Server
+from ..metrics import Counter
+from ..runtime.kernel import Kernel, Transport
+from ..runtime.resources import Server
 from .commands import (
     CommandReply,
     DeleteCmd,
@@ -53,8 +52,8 @@ class KvReplica(MulticastReplica):
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         name: str,
         group: str,
         directory: Mapping[str, StreamDeployment],

@@ -27,8 +27,7 @@ from ..paxos.types import (
     UnsubscribeMsg,
     fresh_value_id,
 )
-from ..sim.core import Environment
-from ..sim.network import Network
+from ..runtime.kernel import Kernel, Transport
 from .stream import StreamDeployment
 
 __all__ = ["MulticastClient"]
@@ -39,8 +38,8 @@ class MulticastClient(Actor):
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         name: str,
         directory: Mapping[str, StreamDeployment],
     ):

@@ -16,8 +16,7 @@ from ..net.actor import Actor
 from ..paxos.learner import LearnerCore
 from ..paxos.messages import Decision, RecoverReply
 from ..paxos.types import AppValue, Batch
-from ..sim.core import Environment
-from ..sim.network import Network
+from ..runtime.kernel import Kernel, Transport
 from .elastic import ElasticMerger
 from .stream import StreamDeployment, TokenLog
 
@@ -41,8 +40,8 @@ class MulticastReplica(Actor):
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         name: str,
         group: str,
         directory: Mapping[str, StreamDeployment],

@@ -28,8 +28,7 @@ from ..paxos.ballot import quorum_size
 from ..paxos.failover import FailoverMonitor, RingWatchdog
 from ..paxos.learner import LearnerActor
 from ..paxos.types import Batch, SkipToken, Token  # noqa: F401 (SkipToken used by fast_forward)
-from ..sim.core import Environment
-from ..sim.network import Network
+from ..runtime.kernel import Kernel, Transport
 from ..storage.stable import StableStore
 
 __all__ = ["StreamDeployment", "TokenLog"]
@@ -154,8 +153,8 @@ class StreamDeployment:
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         config: StreamConfig,
         stable_store_factory: Optional[Callable[[str], StableStore]] = None,
         recovery_instance_cost: float = 0.0,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional
 
-from ..sim.core import Environment, Interrupt
+from ..runtime.kernel import Interrupt, Kernel
 from .replica import MulticastReplica
 from .stream import StreamDeployment
 
@@ -45,7 +45,7 @@ class TrimCoordinator:
 
     def __init__(
         self,
-        env: Environment,
+        env: Kernel,
         directory: Mapping[str, StreamDeployment],
         replicas: Iterable[MulticastReplica],
         interval: float = 5.0,

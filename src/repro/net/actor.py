@@ -1,10 +1,15 @@
-"""Actor base class: a protocol role bound to a simulated host.
+"""Actor base class: a protocol role bound to a transport host.
 
 An :class:`Actor` drains its host's inbox in a receive loop and
 dispatches each payload to ``on_<MessageClassName>`` methods, e.g. a
 ``Phase1a`` payload is dispatched to ``on_phase1a(msg, src)``.  Unknown
 message types raise -- a replica silently ignoring a message it should
 handle is a bug, not a feature.
+
+Actors code against the :class:`repro.runtime.kernel.Kernel` and
+:class:`repro.runtime.kernel.Transport` interfaces only; the same actor
+runs unchanged on the discrete-event simulator and on the live asyncio
+TCP backend.
 
 Actors respect crash state: while the underlying host is crashed the
 receive loop idles, and :meth:`Actor.send` drops outgoing traffic,
@@ -16,8 +21,7 @@ from __future__ import annotations
 import re
 from typing import Any, Optional
 
-from ..sim.core import Environment, Interrupt, Process
-from ..sim.network import Network
+from ..runtime.kernel import Interrupt, Kernel, ProcessHandle, Transport
 from .messages import Message
 
 __all__ = ["Actor"]
@@ -30,9 +34,9 @@ def _handler_name(payload: Any) -> str:
 
 
 class Actor:
-    """A named protocol participant attached to a network host."""
+    """A named protocol participant attached to a transport host."""
 
-    def __init__(self, env: Environment, network: Network, name: str):
+    def __init__(self, env: Kernel, network: Transport, name: str):
         self.env = env
         self.network = network
         self.name = name
@@ -42,7 +46,7 @@ class Actor:
         # the box -- crashing only the host would leave the receive
         # loop parked on the replaced inbox forever.
         self.host.actor = self
-        self._loop: Optional[Process] = None
+        self._loop: Optional[ProcessHandle] = None
         # Per-message-class handler methods, resolved lazily: the regex
         # camel-case split and getattr are too slow for the dispatch
         # hot path.

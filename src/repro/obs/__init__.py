@@ -43,9 +43,11 @@ __all__ = [
     "JsonlSink",
     "LifecycleIndex",
     "ListSink",
+    "METRICS_DUMP_FORMAT",
     "MessageLifecycle",
     "MetricsRegistry",
     "STAGES",
+    "rows_from_dump",
     "SchemaError",
     "SubscriptionTimeline",
     "Tracer",
@@ -60,7 +62,7 @@ __all__ = [
     "validate_file",
 ]
 
-_LAZY = {"MetricsRegistry", "Gauge"}
+_LAZY = {"MetricsRegistry", "Gauge", "METRICS_DUMP_FORMAT", "rows_from_dump"}
 
 
 def __getattr__(name):

@@ -30,7 +30,18 @@ from typing import Optional
 from ..sim.monitor import Counter, Series, percentile
 from .trace import install_metrics, uninstall_metrics  # re-export convenience
 
-__all__ = ["Gauge", "MetricsRegistry", "install_metrics", "uninstall_metrics"]
+__all__ = [
+    "Gauge",
+    "METRICS_DUMP_FORMAT",
+    "MetricsRegistry",
+    "install_metrics",
+    "rows_from_dump",
+    "uninstall_metrics",
+]
+
+# Format marker of a JSON metrics dump (`python -m repro stats` sniffs
+# it to distinguish a dump from a trace JSONL file).
+METRICS_DUMP_FORMAT = "repro-metrics/1"
 
 
 class Gauge:
@@ -155,3 +166,71 @@ class MetricsRegistry:
             rows.append((actor, name, "histogram", rendered))
         rows.sort()
         return rows
+
+    def dump(self) -> dict:
+        """A JSON-serializable snapshot of every instrument.
+
+        Written by live runs (``python -m repro live --metrics-out``)
+        and read back by ``python -m repro stats``.
+        """
+        counters = [
+            {"actor": actor, "name": name, "total": counter.total}
+            for (actor, name), counter in self._counters.items()
+        ]
+        gauges = [
+            {"actor": actor, "name": name, "last": gauge.value,
+             "peak": gauge.peak}
+            for (actor, name), gauge in self._gauges.items()
+        ]
+        histograms = []
+        for (actor, name), series in self._histograms.items():
+            values = series.values
+            entry = {"actor": actor, "name": name, "n": len(values)}
+            if values:
+                entry.update(
+                    mean=sum(values) / len(values),
+                    p50=percentile(values, 50),
+                    p95=percentile(values, 95),
+                    p99=percentile(values, 99),
+                )
+            histograms.append(entry)
+        return {
+            "format": METRICS_DUMP_FORMAT,
+            "counters": sorted(counters, key=lambda e: (e["actor"], e["name"])),
+            "gauges": sorted(gauges, key=lambda e: (e["actor"], e["name"])),
+            "histograms": sorted(
+                histograms, key=lambda e: (e["actor"], e["name"])
+            ),
+        }
+
+
+def rows_from_dump(data: dict) -> list[tuple[str, str, str, str]]:
+    """Render a :meth:`MetricsRegistry.dump` back into summary rows."""
+    if data.get("format") != METRICS_DUMP_FORMAT:
+        raise ValueError(
+            f"not a metrics dump (format={data.get('format')!r}, "
+            f"expected {METRICS_DUMP_FORMAT!r})"
+        )
+    rows: list[tuple[str, str, str, str]] = []
+    for entry in data.get("counters", ()):
+        rows.append(
+            (entry["actor"], entry["name"], "counter",
+             f"total={entry['total']:g}")
+        )
+    for entry in data.get("gauges", ()):
+        if entry.get("last") is None:
+            rendered = "(no samples)"
+        else:
+            rendered = f"last={entry['last']:g} peak={entry['peak']:g}"
+        rows.append((entry["actor"], entry["name"], "gauge", rendered))
+    for entry in data.get("histograms", ()):
+        if not entry.get("n"):
+            rendered = "(no samples)"
+        else:
+            rendered = (
+                f"n={entry['n']} mean={entry['mean']:.4g} "
+                f"p95={entry['p95']:.4g}"
+            )
+        rows.append((entry["actor"], entry["name"], "histogram", rendered))
+    rows.sort()
+    return rows

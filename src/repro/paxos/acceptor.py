@@ -17,8 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..net.actor import Actor
-from ..sim.core import Environment
-from ..sim.network import Network
+from ..runtime.kernel import Kernel, Transport
 from ..storage.log import AcceptorLog
 from ..storage.stable import StableStore
 from .messages import (
@@ -217,8 +216,8 @@ class AcceptorActor(Actor):
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         name: str,
         stream: str,
         ring: tuple[str, ...] = (),

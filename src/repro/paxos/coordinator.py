@@ -22,9 +22,8 @@ from collections import deque
 from typing import Optional
 
 from ..net.actor import Actor
-from ..sim.core import Environment, Interrupt
-from ..sim.network import Network
-from ..sim.resources import Server
+from ..runtime.kernel import Interrupt, Kernel, Transport
+from ..runtime.resources import Server
 from .ballot import ballot_for, next_ballot, quorum_size
 from .config import StreamConfig
 from .messages import (
@@ -56,8 +55,8 @@ class CoordinatorActor(Actor):
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         config: StreamConfig,
         coordinator_index: int = 0,
         n_coordinators: int = 1,

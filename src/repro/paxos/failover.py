@@ -17,8 +17,7 @@ import itertools
 from typing import Callable, Optional
 
 from ..net.actor import Actor
-from ..sim.core import Environment, Interrupt
-from ..sim.network import Network
+from ..runtime.kernel import Interrupt, Kernel, Transport
 from .coordinator import CoordinatorActor
 from .messages import Heartbeat, HeartbeatAck
 
@@ -32,8 +31,8 @@ class FailoverMonitor(Actor):
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         name: str,
         active: str,
         standby: CoordinatorActor,
@@ -117,8 +116,8 @@ class RingWatchdog(Actor):
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         name: str,
         targets: list[str],
         on_suspect: Callable[[str], None],

@@ -19,8 +19,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..net.actor import Actor
-from ..sim.core import Environment, Interrupt
-from ..sim.network import Network
+from ..runtime.kernel import Interrupt, Kernel, Transport
 from .config import StreamConfig
 from .messages import Decision, RecoverReply, RecoverRequest
 from .types import Batch
@@ -38,7 +37,7 @@ class LearnerCore:
 
     def __init__(
         self,
-        env: Environment,
+        env: Kernel,
         config: StreamConfig,
         on_deliver: Callable[[int, Batch], None],
         send: Callable[[str, object], None],
@@ -231,8 +230,8 @@ class LearnerActor(Actor):
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Kernel,
+        network: Transport,
         name: str,
         config: StreamConfig,
         on_deliver: Callable[[int, Batch], None],

@@ -1,0 +1,65 @@
+"""Execution backends for the Elastic Paxos protocol actors.
+
+``repro.runtime`` owns the :class:`~repro.runtime.kernel.Kernel` /
+:class:`~repro.runtime.kernel.Transport` interfaces the protocol layer
+codes against, and the *live* implementation that runs the unchanged
+actors over real asyncio TCP sockets on localhost:
+
+* :mod:`repro.runtime.kernel` -- the interfaces (plus the shared
+  :class:`Interrupt` / :class:`Envelope` types);
+* :mod:`repro.runtime.resources` -- kernel-generic capacity models
+  (:class:`Server`);
+* :mod:`repro.runtime.codec` -- versioned binary wire codec for every
+  registered message class;
+* :mod:`repro.runtime.asyncio_kernel` -- :class:`AsyncioKernel`, the
+  event-loop implementation of the kernel interface;
+* :mod:`repro.runtime.transport` -- :class:`TcpTransport`,
+  length-prefixed TCP with per-peer reconnect and backpressure;
+* :mod:`repro.runtime.supervisor` -- :class:`LiveCluster` and
+  :func:`run_live`, the ``python -m repro live`` entry point.
+
+Only the interface module is imported eagerly: the simulator kernel
+imports :mod:`repro.runtime.kernel` for the shared types, so this
+package ``__init__`` must never (transitively) import ``repro.sim``.
+The live backend is loaded lazily via ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from .kernel import Envelope, Interrupt, Kernel, Transport
+
+__all__ = [
+    "AsyncioKernel",
+    "Envelope",
+    "decode",
+    "encode",
+    "Interrupt",
+    "Kernel",
+    "LiveCluster",
+    "LiveConfig",
+    "LiveReport",
+    "TcpTransport",
+    "Transport",
+    "run_live",
+]
+
+_LAZY = {
+    "encode": ("repro.runtime.codec", "encode"),
+    "decode": ("repro.runtime.codec", "decode"),
+    "AsyncioKernel": ("repro.runtime.asyncio_kernel", "AsyncioKernel"),
+    "TcpTransport": ("repro.runtime.transport", "TcpTransport"),
+    "LiveCluster": ("repro.runtime.supervisor", "LiveCluster"),
+    "LiveConfig": ("repro.runtime.supervisor", "LiveConfig"),
+    "LiveReport": ("repro.runtime.supervisor", "LiveReport"),
+    "run_live": ("repro.runtime.supervisor", "run_live"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,205 @@
+"""Kernel/Transport: the execution interfaces the protocol codes against.
+
+The protocol layer (``repro.net``, ``repro.paxos``, ``repro.multicast``,
+``repro.kvstore``) is written as *sans-backend* actors: generator-based
+processes that yield events, plus fire-and-forget message sends.  This
+module pins down the two interfaces those actors are allowed to assume:
+
+* :class:`Kernel` -- a clock, process spawning, timeouts/events and
+  deferred calls.  The discrete-event simulator
+  (:class:`repro.sim.core.Environment`) is one implementation; the live
+  asyncio backend (:class:`repro.runtime.asyncio_kernel.AsyncioKernel`)
+  is another.
+* :class:`Transport` -- named hosts with inboxes and a datagram-style
+  ``send``.  Implemented by the simulated
+  :class:`repro.sim.network.Network` and by the real TCP transport
+  (:class:`repro.runtime.transport.TcpTransport`).
+
+These are :class:`typing.Protocol` classes: implementations satisfy
+them structurally, no inheritance required, so the simulator's
+hand-optimised hot paths stay exactly as they are.
+
+Two concrete types live here rather than in ``repro.sim`` because both
+backends share them:
+
+* :class:`Interrupt` -- the exception delivered into a process by
+  ``ProcessHandle.interrupt`` (crash injection, actor stop).  It must
+  be one class across backends so ``except Interrupt:`` in protocol
+  code works everywhere.
+* :class:`Envelope` -- the received-message record actors drain from
+  their host inbox.
+
+``repro.sim.core`` / ``repro.sim.network`` re-export both, so existing
+imports keep working.
+
+Contract notes
+--------------
+* ``Kernel.now`` is seconds -- virtual seconds in the simulator, wall
+  seconds since kernel start in live mode.  ``_now`` is the same value
+  exposed as a cheap attribute/property for hot paths.
+* Determinism (bit-identical seeded runs, golden digests) is a property
+  of the *sim* backend only.  The live backend inherits the OS
+  scheduler's nondeterminism; protocol safety may not depend on timing.
+* ``Transport.send`` is fire-and-forget and may drop (crashed hosts,
+  partitions, a saturated live send queue).  Loss is repaired by the
+  protocol (retransmission, gap repair), never by the transport.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Generator,
+    Iterable,
+    NamedTuple,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+__all__ = [
+    "Envelope",
+    "EventLike",
+    "HostLike",
+    "InboxLike",
+    "Interrupt",
+    "Kernel",
+    "ProcessHandle",
+    "Transport",
+]
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    ``ProcessHandle.interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Envelope(NamedTuple):
+    """A message in flight, as seen by the receiving actor.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    network send, and tuple construction happens in C while the frozen
+    dataclass protocol pays a guarded ``object.__setattr__`` per field.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    size: int                  # wire size in bytes, for bandwidth accounting
+    sent_at: float
+    delivered_at: float
+    dst_incarnation: int = 0   # receiver reboot count at send time
+    duplicated: bool = False   # injected duplicate copy
+
+
+@runtime_checkable
+class EventLike(Protocol):
+    """An event a process can yield on, with attachable callbacks.
+
+    ``callbacks`` is a list until the event is processed, then ``None``
+    (the simulator's convention; the live kernel mirrors it).
+    """
+
+    callbacks: Optional[list]
+
+    @property
+    def triggered(self) -> bool: ...
+
+    def succeed(self, value: Any = None) -> Any: ...
+
+    def fail(self, exception: BaseException) -> Any: ...
+
+
+@runtime_checkable
+class ProcessHandle(Protocol):
+    """A spawned process: alive until its generator returns."""
+
+    @property
+    def is_alive(self) -> bool: ...
+
+    def interrupt(self, cause: Any = None) -> None: ...
+
+
+@runtime_checkable
+class Kernel(Protocol):
+    """Clock + scheduling: what every protocol actor needs to run.
+
+    ``tracer`` / ``metrics`` are the observability slots adopted from
+    :mod:`repro.obs.trace` at kernel construction; both are ``None``
+    unless installed, and probe sites guard with one ``is None`` test.
+    """
+
+    tracer: Any
+    metrics: Any
+
+    @property
+    def now(self) -> float: ...
+
+    # Hot paths read the clock as ``env._now``; both backends expose it.
+    @property
+    def _now(self) -> float: ...
+
+    def process(self, generator: Generator) -> Any: ...
+
+    def timeout(self, delay: float, value: Any = None) -> Any: ...
+
+    def event(self) -> Any: ...
+
+    def any_of(self, events: Iterable[Any]) -> Any: ...
+
+    def all_of(self, events: Iterable[Any]) -> Any: ...
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None: ...
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None: ...
+
+
+@runtime_checkable
+class InboxLike(Protocol):
+    """FIFO inbox a host's actor drains: ``yield inbox.get()``."""
+
+    def get(self) -> Any: ...
+
+    def put_nowait(self, item: Any) -> None: ...
+
+    def __len__(self) -> int: ...
+
+
+@runtime_checkable
+class HostLike(Protocol):
+    """A named node with an inbox, a crash flag and a reboot counter."""
+
+    name: str
+    inbox: Any
+    crashed: bool
+    incarnation: int
+    actor: Any
+
+    def crash(self) -> None: ...
+
+    def recover(self) -> None: ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Named hosts plus datagram-style, fire-and-forget delivery."""
+
+    def add_host(self, name: str) -> Any: ...
+
+    def host(self, name: str) -> Any: ...
+
+    def hosts(self) -> list[str]: ...
+
+    def send(self, src: str, dst: str, payload: Any, size: int = 128) -> None: ...
+
+    def broadcast(
+        self, src: str, dsts: list[str], payload: Any, size: int = 128
+    ) -> None: ...

@@ -1,0 +1,324 @@
+"""Process supervisor: boot a live Elastic Paxos cluster and drive it.
+
+``python -m repro live`` lands here.  :func:`run_live` boots a
+multi-stream, multi-replica cluster on the :class:`AsyncioKernel` over
+real localhost TCP sockets (:class:`TcpTransport`), drives a client
+workload against it, performs a *runtime* ``subscribe_msg`` while
+traffic flows, and verifies the paper's guarantees on the live
+backend:
+
+* every replica delivers the identical (non-empty) sequence;
+* the dynamic subscription completes on all replicas;
+* the always-on invariant suite (:mod:`repro.faults.invariants`)
+  reports zero violations.
+
+All actors run as in-process tasks on one asyncio loop, but every
+protocol message is codec-serialized and travels through the OS TCP
+stack -- there is no in-process delivery shortcut.
+
+Unlike the simulator, live runs are *not* deterministic: the OS
+scheduler and real sockets order events.  Golden digests therefore
+apply to the sim backend only; the live acceptance criterion is
+replica agreement, not a particular sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..faults.invariants import InvariantSuite, InvariantViolation
+from ..multicast.api import MulticastClient
+from ..multicast.replica import MulticastReplica
+from ..multicast.stream import StreamDeployment
+from ..paxos.config import StreamConfig
+from .asyncio_kernel import AsyncioKernel
+from .transport import TcpTransport
+
+__all__ = ["LiveCluster", "LiveConfig", "LiveReport", "run_live"]
+
+
+def _percentile(values: list, pct: float) -> float:
+    """Nearest-rank percentile (mirrors ``repro.sim.monitor.percentile``
+    without importing the sim package into the runtime layer)."""
+    if not values:
+        raise ValueError("no samples")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(pct / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class LiveConfig:
+    """Knobs of a live run (defaults match the CI smoke test scale)."""
+
+    streams: int = 2
+    replicas: int = 3
+    acceptors_per_stream: int = 3
+    duration: float = 5.0           # workload wall seconds
+    rate: float = 200.0             # client multicasts per second
+    payload_size: int = 64          # modeled payload bytes per value
+    subscribe_after: float = 0.3    # runtime subscribe at this fraction
+    drain_timeout: float = 10.0     # wall seconds to reach agreement
+    metrics_out: Optional[str] = None
+
+    def __post_init__(self):
+        if self.streams < 1:
+            raise ValueError("need at least one stream")
+        if self.replicas < 1:
+            raise ValueError("need at least one replica")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0.0 < self.subscribe_after < 1.0:
+            raise ValueError("subscribe_after must be a fraction in (0, 1)")
+
+
+@dataclass
+class LiveReport:
+    """What a live run observed; ``ok`` is the acceptance verdict."""
+
+    streams: int
+    replicas: int
+    duration: float
+    submitted: int
+    delivered_per_replica: dict[str, int]
+    sequences_identical: bool
+    subscribes_completed: int
+    subscribes_requested: int
+    invariant_checks: int
+    violations: list[str]
+    kernel_failures: list[str]
+    throughput: float               # deliveries/s at one replica
+    latency_p50_ms: Optional[float]
+    latency_p99_ms: Optional[float]
+    transport_counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.sequences_identical
+            and min(self.delivered_per_replica.values(), default=0) > 0
+            and self.subscribes_completed == self.subscribes_requested
+            and not self.violations
+            and not self.kernel_failures
+        )
+
+    def summary(self) -> str:
+        if self.latency_p50_ms is None:
+            latency = "latency n/a"
+        else:
+            latency = (
+                f"p50 {self.latency_p50_ms:.1f} ms "
+                f"p99 {self.latency_p99_ms:.1f} ms"
+            )
+        delivered = min(self.delivered_per_replica.values(), default=0)
+        return (
+            f"live: {'OK' if self.ok else 'FAILED'} | "
+            f"{self.streams} streams x {self.replicas} replicas | "
+            f"{delivered} delivered/replica "
+            f"({'identical' if self.sequences_identical else 'DIVERGENT'} "
+            f"order) | "
+            f"subscribes {self.subscribes_completed}/"
+            f"{self.subscribes_requested} | "
+            f"violations {len(self.violations)} | "
+            f"{self.throughput:.0f} msgs/s | {latency}"
+        )
+
+
+class LiveCluster:
+    """One in-process live deployment: kernel, transport, streams,
+    replicas, client -- plus the taps the report is built from."""
+
+    def __init__(self, config: LiveConfig):
+        self.config = config
+        self.kernel = AsyncioKernel()
+        self.transport = TcpTransport(self.kernel)
+        self.directory: dict[str, StreamDeployment] = {}
+        for index in range(config.streams):
+            name = f"s{index + 1}"
+            stream_config = StreamConfig(
+                name=name,
+                acceptors=tuple(
+                    f"{name}/acceptor-{j + 1}"
+                    for j in range(config.acceptors_per_stream)
+                ),
+            )
+            self.directory[name] = StreamDeployment(
+                self.kernel, self.transport, stream_config
+            )
+        self.replicas: dict[str, MulticastReplica] = {}
+        self._submit_at: dict[int, float] = {}
+        self.latencies_ms: list[float] = []
+        for index in range(config.replicas):
+            name = f"r{index + 1}"
+            replica = MulticastReplica(
+                self.kernel, self.transport, name, group="g1",
+                directory=self.directory,
+            )
+            replica.add_delivery_observer(self._latency_tap)
+            self.replicas[name] = replica
+        self.invariants = InvariantSuite(self.replicas)
+        self.client = MulticastClient(
+            self.kernel, self.transport, "client", self.directory
+        )
+        self.submitted = 0
+
+    def _latency_tap(self, value, stream, position) -> None:
+        sent = self._submit_at.get(value.msg_id)
+        if sent is not None:
+            self.latencies_ms.append(1000.0 * (self.kernel._now - sent))
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        await self.transport.start()
+        for deployment in self.directory.values():
+            deployment.start()
+        for replica in self.replicas.values():
+            replica.bootstrap(["s1"])
+        self.client.start()
+
+    async def stop(self) -> None:
+        self.client.stop()
+        for replica in self.replicas.values():
+            for core in list(replica.learners.values()):
+                core.stop()
+            replica.stop()
+        for deployment in self.directory.values():
+            deployment.stop()
+        await asyncio.sleep(0)      # let interrupted tasks unwind
+        await self.transport.stop()
+
+    # -- workload -----------------------------------------------------
+
+    def multicast(self, stream: str, sequence: int) -> None:
+        value = self.client.multicast(
+            stream, payload=f"m{sequence}", size=self.config.payload_size
+        )
+        self._submit_at[value.msg_id] = self.kernel._now
+        self.submitted += 1
+
+    async def subscribe(self, new_stream: str, timeout: float) -> bool:
+        """Runtime-subscribe the group to ``new_stream``; True once
+        every replica's dMerge has switched."""
+        self.client.subscribe_msg("g1", new_stream, via_stream="s1")
+        deadline = self.kernel._loop.time() + timeout
+        while self.kernel._loop.time() < deadline:
+            if all(
+                new_stream in replica.subscriptions
+                for replica in self.replicas.values()
+            ):
+                return True
+            await asyncio.sleep(0.02)
+        return False
+
+    # -- observation --------------------------------------------------
+
+    def sequences(self) -> dict[str, list]:
+        return {
+            name: self.invariants.logs[name].sequence()
+            for name in self.replicas
+        }
+
+    async def drain(self, timeout: float) -> bool:
+        """Wait until every replica delivered the identical non-empty
+        sequence (retransmission heals stragglers)."""
+        deadline = self.kernel._loop.time() + timeout
+        while self.kernel._loop.time() < deadline:
+            sequences = list(self.sequences().values())
+            first = sequences[0]
+            if first and all(sequence == first for sequence in sequences):
+                return True
+            await asyncio.sleep(0.1)
+        sequences = list(self.sequences().values())
+        return bool(sequences[0]) and all(
+            sequence == sequences[0] for sequence in sequences
+        )
+
+
+async def _run(config: LiveConfig) -> LiveReport:
+    cluster = LiveCluster(config)
+    kernel = cluster.kernel
+    loop = kernel._loop
+    try:
+        await cluster.start()
+
+        subscribes_requested = config.streams - 1
+        subscribes_completed = 0
+        active_streams = ["s1"]
+        interval = 1.0 / config.rate if config.rate > 0 else config.duration
+        subscribe_at = loop.time() + config.subscribe_after * config.duration
+        workload_end = loop.time() + config.duration
+        sequence = 0
+        subscribed = subscribes_requested == 0
+        while loop.time() < workload_end:
+            cluster.multicast(
+                active_streams[sequence % len(active_streams)], sequence
+            )
+            sequence += 1
+            if not subscribed and loop.time() >= subscribe_at:
+                # Subscribe to every further stream while the workload
+                # keeps flowing on s1 (the paper's online reconfig).
+                subscribed = True
+                for index in range(1, config.streams):
+                    done = await cluster.subscribe(
+                        f"s{index + 1}", timeout=config.drain_timeout
+                    )
+                    if done:
+                        subscribes_completed += 1
+                        active_streams.append(f"s{index + 1}")
+            await asyncio.sleep(interval)
+
+        agreed = await cluster.drain(config.drain_timeout)
+
+        violations: list[str] = []
+        try:
+            cluster.invariants.check()
+        except InvariantViolation as violation:
+            violations.append(str(violation))
+
+        delivered = {
+            name: len(sequence_)
+            for name, sequence_ in cluster.sequences().items()
+        }
+        latencies = cluster.latencies_ms
+        report = LiveReport(
+            streams=config.streams,
+            replicas=config.replicas,
+            duration=config.duration,
+            submitted=cluster.submitted,
+            delivered_per_replica=delivered,
+            sequences_identical=agreed,
+            subscribes_completed=subscribes_completed,
+            subscribes_requested=subscribes_requested,
+            invariant_checks=cluster.invariants.checks_run,
+            violations=violations,
+            kernel_failures=[repr(f) for f in kernel.failures],
+            throughput=min(delivered.values(), default=0) / config.duration,
+            latency_p50_ms=(
+                _percentile(latencies, 50) if latencies else None
+            ),
+            latency_p99_ms=(
+                _percentile(latencies, 99) if latencies else None
+            ),
+            transport_counters={
+                "messages_sent": cluster.transport.messages_sent,
+                "messages_delivered": cluster.transport.messages_delivered,
+                "messages_dropped": cluster.transport.messages_dropped,
+                "bytes_delivered": cluster.transport.bytes_delivered,
+            },
+        )
+        if config.metrics_out and kernel.metrics is not None:
+            with open(config.metrics_out, "w") as fh:
+                json.dump(kernel.metrics.dump(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        return report
+    finally:
+        await cluster.stop()
+
+
+def run_live(config: LiveConfig) -> LiveReport:
+    """Boot, drive and tear down a live cluster; returns the report."""
+    return asyncio.run(_run(config))

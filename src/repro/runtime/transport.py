@@ -1,0 +1,333 @@
+"""Length-prefixed TCP transport for the live runtime.
+
+Implements the :class:`repro.runtime.kernel.Transport` interface over
+real localhost sockets.  Hosts are in-process (their actors run on the
+same :class:`~repro.runtime.asyncio_kernel.AsyncioKernel`), but every
+``send`` is serialized with the wire codec and travels through the OS
+TCP stack -- there is no in-process shortcut, so the live smoke test
+exercises real framing, flow control and socket teardown.
+
+Wire framing (outer; the codec frame has its own versioned header)::
+
+    [u32 frame_len] [f64 sent_at] [u16 src_len][src] [u16 dst_len][dst]
+    [codec frame]
+
+``frame_len`` counts everything after itself.
+
+Per-peer connection management: one :class:`_PeerLink` per destination
+name, with
+
+* a bounded send queue -- ``send`` is fire-and-forget; when the queue
+  is full the message is *dropped* (and counted), exactly like a
+  saturated kernel socket buffer under a fire-and-forget datagram
+  model.  Loss is repaired by the protocol's retransmission, never by
+  the transport;
+* a writer task that applies backpressure with ``writer.drain()``;
+* reconnect-with-backoff (50 ms doubling to 1 s) when the peer is not
+  yet listening or the connection drops; the frame being written when
+  a connection dies is retried on the next connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any, Callable, Optional
+
+from .asyncio_kernel import AsyncioKernel, LiveStore
+from .kernel import Envelope
+
+__all__ = ["LiveHost", "TcpTransport"]
+
+_LEN = struct.Struct("!I")
+_SENT_AT = struct.Struct("!d")
+_U16 = struct.Struct("!H")
+
+_BACKOFF_INITIAL = 0.05
+_BACKOFF_CAP = 1.0
+
+
+class LiveHost:
+    """A named node bound to the live kernel (sim ``Host`` mirror)."""
+
+    __slots__ = ("env", "name", "inbox", "crashed", "incarnation", "actor")
+
+    def __init__(self, env: AsyncioKernel, name: str):
+        self.env = env
+        self.name = name
+        self.inbox: LiveStore = LiveStore(env)
+        self.crashed = False
+        self.incarnation = 0
+        self.actor: Optional[Any] = None
+
+    def crash(self) -> None:
+        self.crashed = True
+        self.incarnation += 1
+        self.inbox = LiveStore(self.env)
+
+    def recover(self) -> None:
+        self.crashed = False
+        self.inbox = LiveStore(self.env)
+
+    def __repr__(self) -> str:
+        state = "crashed" if self.crashed else "up"
+        return f"<LiveHost {self.name} ({state})>"
+
+
+class _PeerLink:
+    """Outbound connection to one destination name."""
+
+    def __init__(self, transport: "TcpTransport", dst: str, queue_frames: int):
+        self.transport = transport
+        self.dst = dst
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_frames)
+        self.task = asyncio.ensure_future(self._run())
+        self.connects = 0
+
+    async def _connect(self) -> tuple:
+        backoff = _BACKOFF_INITIAL
+        while True:
+            address = self.transport._addresses.get(self.dst)
+            if address is not None:
+                try:
+                    reader, writer = await asyncio.open_connection(*address)
+                    self.connects += 1
+                    return reader, writer
+                except OSError:
+                    pass
+            await asyncio.sleep(backoff)
+            backoff = min(backoff * 2, _BACKOFF_CAP)
+
+    async def _run(self) -> None:
+        writer = None
+        pending: Optional[bytes] = None
+        try:
+            while True:
+                if pending is None:
+                    pending = await self.queue.get()
+                if writer is None:
+                    _reader, writer = await self._connect()
+                try:
+                    writer.write(pending)
+                    # Backpressure: wait for the socket buffer to drain
+                    # before pulling the next frame off the queue.
+                    await writer.drain()
+                    pending = None
+                except (ConnectionError, OSError):
+                    writer = None   # reconnect and retry this frame
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if writer is not None:
+                writer.close()
+
+    def close(self) -> None:
+        self.task.cancel()
+
+
+class TcpTransport:
+    """Transport over localhost TCP with per-peer links.
+
+    Counter names mirror :class:`repro.sim.network.Network` so
+    invariant checkers and reports read either backend unchanged.
+    """
+
+    def __init__(
+        self,
+        kernel: AsyncioKernel,
+        bind_host: str = "127.0.0.1",
+        bind_port: int = 0,
+        send_queue_frames: int = 1024,
+        encode: Optional[Callable[[Any], bytes]] = None,
+        decode: Optional[Callable[[bytes], Any]] = None,
+    ):
+        if encode is None or decode is None:
+            from . import codec
+
+            encode = encode or codec.encode
+            decode = decode or codec.decode
+        self.env = kernel
+        self._encode = encode
+        self._decode = decode
+        self._bind_host = bind_host
+        self._bind_port = bind_port
+        self._send_queue_frames = send_queue_frames
+        self._hosts: dict[str, LiveHost] = {}
+        # dst name -> (ip, port).  All local hosts map to this
+        # transport's own listener; a multi-process deployment injects
+        # remote entries here.
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._links: dict[str, _PeerLink] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[tuple[str, int]] = None
+        tracer = kernel.tracer
+        self._net_tracer = (
+            tracer if tracer is not None and tracer.wants_net else None
+        )
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
+        self.bytes_delivered = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener; register all local hosts at its address."""
+        if self._server is not None:
+            raise RuntimeError("transport already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._bind_host, self._bind_port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        for name in self._hosts:
+            self._addresses.setdefault(name, self.address)
+        return self.address
+
+    async def stop(self) -> None:
+        for link in self._links.values():
+            link.close()
+        await asyncio.gather(
+            *(link.task for link in self._links.values()),
+            return_exceptions=True,
+        )
+        self._links.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- hosts --------------------------------------------------------
+
+    def add_host(self, name: str) -> LiveHost:
+        if name not in self._hosts:
+            self._hosts[name] = LiveHost(self.env, name)
+            if self.address is not None:
+                self._addresses.setdefault(name, self.address)
+        return self._hosts[name]
+
+    def host(self, name: str) -> LiveHost:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise KeyError(f"unknown host {name!r}") from None
+
+    def hosts(self) -> list[str]:
+        return sorted(self._hosts)
+
+    def register_address(self, name: str, address: tuple[str, int]) -> None:
+        """Map a (possibly remote) host name to its listener address."""
+        self._addresses[name] = address
+
+    # -- sending ------------------------------------------------------
+
+    def _trace_drop(self, src: str, dst: str, payload: Any, reason: str) -> None:
+        tracer = self._net_tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.drop", self.env.now, src=src, dst=dst,
+                type=type(payload).__name__, reason=reason,
+            )
+
+    def send(self, src: str, dst: str, payload: Any, size: int = 128) -> None:
+        """Fire-and-forget: enqueue one framed message to ``dst``."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.messages_sent += 1
+        sender = self._hosts.get(src)
+        if sender is not None and sender.crashed:
+            self.messages_dropped += 1
+            self._trace_drop(src, dst, payload, "src_crashed")
+            return
+        tracer = self._net_tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.send", self.env.now, src=src, dst=dst,
+                type=type(payload).__name__, size=size,
+            )
+        body = self._encode(payload)
+        src_raw = src.encode("utf-8")
+        dst_raw = dst.encode("utf-8")
+        inner = (
+            _SENT_AT.pack(self.env._now)
+            + _U16.pack(len(src_raw)) + src_raw
+            + _U16.pack(len(dst_raw)) + dst_raw
+            + body
+        )
+        frame = _LEN.pack(len(inner)) + inner
+        link = self._links.get(dst)
+        if link is None:
+            link = self._links[dst] = _PeerLink(
+                self, dst, self._send_queue_frames
+            )
+        try:
+            link.queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            # Bounded fire-and-forget queue: drop under sustained
+            # backpressure, like a full kernel buffer.  The protocol's
+            # retransmission repairs the loss.
+            self.messages_dropped += 1
+            self._trace_drop(src, dst, payload, "backpressure")
+
+    def broadcast(
+        self, src: str, dsts: list[str], payload: Any, size: int = 128
+    ) -> None:
+        for dst in dsts:
+            self.send(src, dst, payload, size)
+
+    # -- receiving ----------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(_LEN.size)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                (frame_len,) = _LEN.unpack(header)
+                try:
+                    inner = await reader.readexactly(frame_len)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                self._deliver_frame(inner, frame_len + _LEN.size)
+        finally:
+            writer.close()
+
+    def _deliver_frame(self, inner: bytes, frame_bytes: int) -> None:
+        (sent_at,) = _SENT_AT.unpack_from(inner, 0)
+        pos = _SENT_AT.size
+        (src_len,) = _U16.unpack_from(inner, pos)
+        pos += 2
+        src = inner[pos:pos + src_len].decode("utf-8")
+        pos += src_len
+        (dst_len,) = _U16.unpack_from(inner, pos)
+        pos += 2
+        dst = inner[pos:pos + dst_len].decode("utf-8")
+        pos += dst_len
+        payload = self._decode(inner[pos:])
+        receiver = self._hosts.get(dst)
+        if receiver is None or receiver.crashed:
+            self.messages_dropped += 1
+            self._trace_drop(src, dst, payload, "dst_crashed")
+            return
+        now = self.env._now
+        self.messages_delivered += 1
+        self.bytes_delivered += frame_bytes
+        envelope = Envelope(
+            src=src, dst=dst, payload=payload, size=frame_bytes,
+            sent_at=sent_at, delivered_at=now,
+            dst_incarnation=receiver.incarnation, duplicated=False,
+        )
+        receiver.inbox.put_nowait(envelope)
+        tracer = self._net_tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.deliver", now, src=src, dst=dst,
+                type=type(payload).__name__,
+                latency=now - sent_at,
+                inbox_depth=len(receiver.inbox),
+            )

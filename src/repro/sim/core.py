@@ -33,6 +33,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..obs.trace import current_metrics, current_tracer
+from ..runtime.kernel import Interrupt
 
 __all__ = [
     "Environment",
@@ -48,18 +49,6 @@ __all__ = [
 
 class SimulationError(Exception):
     """Base class for simulation kernel errors."""
-
-
-class Interrupt(Exception):
-    """Raised inside a process when another process interrupts it.
-
-    The ``cause`` attribute carries the value passed to
-    :meth:`Process.interrupt`.
-    """
-
-    def __init__(self, cause: Any = None):
-        super().__init__(cause)
-        self.cause = cause
 
 
 _PENDING = object()

@@ -28,10 +28,11 @@ uncompiled path, so seeded runs stay bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, NamedTuple, Optional
+from typing import Any, Iterable, Optional
 
 from heapq import heappush
 
+from ..runtime.kernel import Envelope
 from .core import Environment, _ScheduledCall
 from .queues import Store
 from .rng import RngRegistry
@@ -40,24 +41,6 @@ __all__ = ["Envelope", "FaultRule", "Host", "Network", "LinkSpec"]
 
 
 _tuple_new = tuple.__new__
-
-
-class Envelope(NamedTuple):
-    """A message in flight, as seen by the receiving actor.
-
-    A ``NamedTuple`` rather than a frozen dataclass: one is built per
-    network send, and tuple construction happens in C while the frozen
-    dataclass protocol pays a guarded ``object.__setattr__`` per field.
-    """
-
-    src: str
-    dst: str
-    payload: Any
-    size: int                  # wire size in bytes, for bandwidth accounting
-    sent_at: float
-    delivered_at: float
-    dst_incarnation: int = 0   # receiver reboot count at send time
-    duplicated: bool = False   # injected duplicate copy
 
 
 @dataclass(slots=True)

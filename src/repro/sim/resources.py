@@ -1,65 +1,13 @@
-"""Capacity-modelling resources.
+"""Capacity-modelling resources (simulator-facing re-export).
 
-:class:`Server` models a single-threaded CPU (or a disk): work items
-queue FIFO and are served one at a time for a deterministic service
-time.  This is what makes coordinators and replicas saturate in the
-reproduction exactly as the paper's 2-vCPU VMs do -- the figure shapes
-(3.62x at four streams in Fig. 3, the CPU drop after the split in
-Fig. 4) all emerge from these servers reaching or leaving saturation.
+The :class:`Server` model itself is kernel-generic and lives in
+:mod:`repro.runtime.resources`, so that protocol modules can use it
+without importing ``repro.sim``; this module keeps the historical
+import path working for the sim-side harnesses and tests.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from .core import Environment, Event
-from .monitor import UtilisationProbe
+from ..runtime.resources import Server
 
 __all__ = ["Server"]
-
-
-class Server:
-    """A FIFO single-server queue with utilisation accounting.
-
-    ``rate`` is expressed in work-units per second; a request of
-    ``cost`` work-units occupies the server for ``cost / rate`` seconds.
-    The common idiom is ``cost=1`` with ``rate`` = operations/second.
-    """
-
-    def __init__(self, env: Environment, rate: float, name: str = ""):
-        if rate <= 0:
-            raise ValueError("rate must be positive")
-        self.env = env
-        self.rate = rate
-        self.name = name
-        self.probe = UtilisationProbe(env, name)
-        self._free_at = 0.0
-        self.completed = 0
-
-    @property
-    def backlog_seconds(self) -> float:
-        """Seconds of queued work ahead of a request issued now."""
-        return max(0.0, self._free_at - self.env._now)
-
-    def request(self, cost: float = 1.0) -> Event:
-        """Enqueue ``cost`` units of work; event fires when done."""
-        if cost < 0:
-            raise ValueError("cost must be non-negative")
-        now = self.env._now
-        start = max(now, self._free_at)
-        service = cost / self.rate
-        done_at = start + service
-        self._free_at = done_at
-        self.probe.busy()
-        event = Event(self.env)
-        self.env._schedule_call(self._finish, (event,), done_at - now)
-        return event
-
-    def _finish(self, event: Event) -> None:
-        self.completed += 1
-        if self.env._now >= self._free_at:
-            self.probe.idle()
-        event.succeed()
-
-    def utilisation_between(self, start: float, end: float) -> float:
-        return self.probe.utilisation_between(start, end)

@@ -11,10 +11,10 @@ that stream's throughput.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
-from ..sim.core import Environment, Event
-from ..sim.resources import Server
+from ..runtime.kernel import Kernel
+from ..runtime.resources import Server
 
 __all__ = ["StableStore"]
 
@@ -25,7 +25,7 @@ class StableStore:
     Parameters
     ----------
     env:
-        Simulation environment.
+        Execution kernel (simulator or live).
     write_latency:
         Fixed seconds per synchronous write (fsync cost); 0 = memory.
     write_bandwidth:
@@ -34,7 +34,7 @@ class StableStore:
 
     def __init__(
         self,
-        env: Environment,
+        env: Kernel,
         write_latency: float = 0.0,
         write_bandwidth: Optional[float] = None,
         name: str = "",
@@ -56,7 +56,7 @@ class StableStore:
         # per persisted message).
         self.is_instantaneous = write_latency == 0 and self._device is None
 
-    def write(self, nbytes: int) -> Event:
+    def write(self, nbytes: int) -> Any:
         """Persist ``nbytes``; the returned event fires when durable."""
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
@@ -64,7 +64,7 @@ class StableStore:
         self.bytes_written += nbytes
         if self._device is not None:
             # Queue behind earlier writes, then pay the fixed latency.
-            done = Event(self.env)
+            done = self.env.event()
             queued = self._device.request(cost=nbytes)
             queued.callbacks.append(
                 lambda _e: self.env.call_later(
@@ -74,7 +74,7 @@ class StableStore:
             return done
         if self.write_latency > 0:
             return self.env.timeout(self.write_latency)
-        event = Event(self.env)
+        event = self.env.event()
         event.succeed()
         return event
 

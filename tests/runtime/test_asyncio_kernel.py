@@ -1,0 +1,196 @@
+"""AsyncioKernel semantics: the live kernel must drive the same
+generator-process protocol the simulator does."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.runtime.asyncio_kernel import AsyncioKernel, QueueFull
+from repro.runtime.kernel import Interrupt, Kernel
+from repro.runtime.resources import Server
+from repro.storage.stable import StableStore
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=10))
+
+
+async def drain(kernel, seconds=0.0):
+    """Let the loop run for a bit of wall time."""
+    await asyncio.sleep(seconds if seconds > 0 else 0.01)
+
+
+def test_kernel_satisfies_protocol():
+    async def main():
+        kernel = AsyncioKernel()
+        assert isinstance(kernel, Kernel)
+
+    run(main())
+
+
+def test_timeout_resumes_process_with_value():
+    async def main():
+        kernel = AsyncioKernel()
+        got = []
+
+        def proc():
+            value = yield kernel.timeout(0.01, "tick")
+            got.append(value)
+
+        kernel.process(proc())
+        await drain(kernel, 0.1)
+        assert got == ["tick"]
+        assert not kernel.failures
+
+    run(main())
+
+
+def test_event_succeed_and_fail():
+    async def main():
+        kernel = AsyncioKernel()
+        results = []
+
+        def waiter(event):
+            try:
+                value = yield event
+                results.append(("ok", value))
+            except RuntimeError as exc:
+                results.append(("err", str(exc)))
+
+        good = kernel.event()
+        bad = kernel.event()
+        kernel.process(waiter(good))
+        kernel.process(waiter(bad))
+        await drain(kernel)
+        good.succeed(7)
+        bad.fail(RuntimeError("boom"))
+        await drain(kernel)
+        assert sorted(results) == [("err", "boom"), ("ok", 7)]
+        assert not kernel.failures   # both failures were consumed
+
+    run(main())
+
+
+def test_any_of_and_all_of():
+    async def main():
+        kernel = AsyncioKernel()
+        seen = []
+
+        def proc():
+            first = kernel.timeout(0.01, "fast")
+            slow = kernel.timeout(0.5, "slow")
+            result = yield kernel.any_of([first, slow])
+            seen.append(set(result.values()))
+            both = yield kernel.all_of(
+                [kernel.timeout(0.01, "a"), kernel.timeout(0.02, "b")]
+            )
+            seen.append(set(both.values()))
+
+        kernel.process(proc())
+        await drain(kernel, 0.2)
+        assert seen == [{"fast"}, {"a", "b"}]
+
+    run(main())
+
+
+def test_interrupt_detaches_from_wait_target():
+    async def main():
+        kernel = AsyncioKernel()
+        store = kernel.store()
+        stopped = []
+
+        def loop():
+            while True:
+                try:
+                    item = yield store.get()
+                except Interrupt:
+                    stopped.append(True)
+                    return
+                stopped.append(item)
+
+        proc = kernel.process(loop())
+        await drain(kernel)
+        assert proc.is_alive
+        proc.interrupt("stop")
+        await drain(kernel)
+        assert stopped == [True]
+        assert not proc.is_alive
+        # The abandoned getter must not resurrect the process.
+        store.put_nowait("late")
+        await drain(kernel)
+        assert stopped == [True]
+
+    run(main())
+
+
+def test_store_fifo_and_bounded():
+    async def main():
+        kernel = AsyncioKernel()
+        store = kernel.store(capacity=2)
+        store.put_nowait(1)
+        store.put_nowait(2)
+        with pytest.raises(QueueFull):
+            store.put_nowait(3)
+        got = []
+
+        def consumer():
+            for _ in range(2):
+                item = yield store.get()
+                got.append(item)
+
+        kernel.process(consumer())
+        await drain(kernel)
+        assert got == [1, 2]
+
+    run(main())
+
+
+def test_unconsumed_failure_is_collected():
+    async def main():
+        kernel = AsyncioKernel()
+
+        def exploder():
+            yield kernel.timeout(0.0)
+            raise ValueError("unhandled")
+
+        kernel.process(exploder())
+        await drain(kernel)
+        assert len(kernel.failures) == 1
+        assert isinstance(kernel.failures[0], ValueError)
+
+    run(main())
+
+
+def test_call_later_rejects_negative_delay():
+    async def main():
+        kernel = AsyncioKernel()
+        with pytest.raises(ValueError):
+            kernel.call_later(-1, lambda: None)
+
+    run(main())
+
+
+def test_server_and_stable_store_run_on_live_kernel():
+    # The kernel-generic capacity models must work unchanged over the
+    # asyncio backend (structural typing, no sim import).
+    async def main():
+        kernel = AsyncioKernel()
+        server = Server(kernel, rate=1000.0, name="cpu")
+        store = StableStore(kernel, write_latency=0.005)
+        done = []
+
+        def proc():
+            yield server.request(cost=1.0)
+            yield store.write(64)
+            done.append(True)
+
+        kernel.process(proc())
+        await drain(kernel, 0.1)
+        assert done == [True]
+        assert server.completed == 1
+        assert store.writes == 1
+        assert not kernel.failures
+
+    run(main())

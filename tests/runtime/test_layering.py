@@ -1,0 +1,83 @@
+"""Layering: protocol code depends on the kernel interface, not the sim.
+
+The protocol layer (net, paxos, multicast, kvstore, coordination,
+storage) and the runtime package itself must not import ``repro.sim``
+at module level -- they code against :mod:`repro.runtime.kernel` so
+the same sources run on the simulator and on the live asyncio kernel.
+Function-scoped deferred imports (e.g. the utilisation probe in
+``runtime.resources``) are allowed: they create no import-time
+dependency and only run on the sim path.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import repro
+
+PROTOCOL_PACKAGES = (
+    "net",
+    "paxos",
+    "multicast",
+    "kvstore",
+    "coordination",
+    "storage",
+    "runtime",
+)
+
+
+def _module_parts(root: pathlib.Path, path: pathlib.Path) -> list[str]:
+    parts = ["repro", *path.relative_to(root).with_suffix("").parts]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return parts
+
+
+def _resolve(module_parts: list[str], node: ast.ImportFrom) -> str:
+    """Absolute dotted name an ``ImportFrom`` refers to."""
+    if node.level == 0:
+        return node.module or ""
+    package = module_parts[:-1] if module_parts[-1] != "repro" else module_parts
+    base = package[: len(package) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def test_protocol_layer_has_no_module_level_sim_import():
+    root = pathlib.Path(repro.__file__).parent
+    offenders = []
+    for package in PROTOCOL_PACKAGES:
+        for path in sorted((root / package).rglob("*.py")):
+            tree = ast.parse(path.read_text())
+            module_parts = _module_parts(root, path)
+            for node in tree.body:      # module level only, by design
+                targets = []
+                if isinstance(node, ast.Import):
+                    targets = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom):
+                    targets = [_resolve(module_parts, node)]
+                for target in targets:
+                    if target == "repro.sim" or target.startswith("repro.sim."):
+                        offenders.append(
+                            f"{path.relative_to(root.parent)}:{node.lineno} "
+                            f"imports {target}"
+                        )
+    assert not offenders, "\n".join(offenders)
+
+
+def test_runtime_package_imports_without_sim():
+    # Importing the runtime package must not drag the simulator in:
+    # a live deployment should never pay for (or depend on) sim code
+    # it does not run.  Use a subprocess-free check: the lazy-export
+    # table exists and the eager surface is only the kernel interface.
+    import repro.runtime as runtime
+
+    assert set(runtime._LAZY) >= {
+        "AsyncioKernel",
+        "TcpTransport",
+        "encode",
+        "decode",
+        "run_live",
+    }

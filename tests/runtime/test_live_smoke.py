@@ -1,0 +1,43 @@
+"""Live smoke test: a real 2-stream TCP cluster on localhost.
+
+Boots the full stack -- AsyncioKernel, TcpTransport, two Paxos
+streams, three replicas -- drives a client workload for a couple of
+wall seconds, performs a *runtime* subscribe while traffic flows, and
+asserts the paper's guarantees held on the live backend: identical
+non-empty delivery order everywhere, the subscription completed, and
+zero invariant violations.
+
+Wall-clock runs on shared CI machines can stall arbitrarily, so the
+supervisor gets generous drain timeouts and the test retries once
+before failing.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.supervisor import LiveConfig, run_live
+
+
+def _attempt():
+    config = LiveConfig(
+        streams=2,
+        replicas=3,
+        duration=2.0,
+        rate=120.0,
+        drain_timeout=20.0,
+    )
+    return run_live(config)
+
+
+def test_live_two_stream_cluster_agrees():
+    report = _attempt()
+    if not report.ok:
+        report = _attempt()     # retry once: CI wall clocks are noisy
+    assert report.sequences_identical, report.summary()
+    assert min(report.delivered_per_replica.values()) > 0, report.summary()
+    assert report.subscribes_completed == 1, report.summary()
+    assert report.violations == [], report.summary()
+    assert report.kernel_failures == [], report.summary()
+    assert report.transport_counters["messages_delivered"] > 0
+    # Real sockets were used: delivered bytes went through TCP framing.
+    assert report.transport_counters["bytes_delivered"] > 0
+    assert "OK" in report.summary()
