@@ -17,6 +17,9 @@ Usage::
                           [--baseline BENCH_baseline.json] [--threshold 0.25]
     python -m repro live [--streams 2] [--replicas 3] [--duration 5]
                          [--rate 200] [--metrics-out metrics.json]
+                         [--nodes 2] [--telemetry-dir DIR] [--clock-skew 0.5]
+    python -m repro trace-merge n1.trace.jsonl n2.trace.jsonl --out merged.jsonl
+    python -m repro top DIR/endpoints.json [--interval 1] [--iterations N]
 
 Each experiment command runs on the simulator and prints the
 paper-vs-measured comparison plus sparkline series; ``faults`` runs a
@@ -32,7 +35,13 @@ compare against a committed baseline for the CI perf-smoke job.
 ``live`` boots a real asyncio/TCP cluster (see ``docs/RUNTIME.md``),
 drives a workload with a runtime subscribe, and prints the agreement /
 latency summary; ``stats`` also reads the metrics dump a live run
-writes with ``--metrics-out``.
+writes with ``--metrics-out``.  With ``--nodes N --telemetry-dir DIR``
+the live cluster is partitioned into N clock domains, each streaming a
+node-stamped trace and serving live HTTP metrics/health endpoints;
+``trace-merge`` aligns and merges those per-node traces into one
+causally-consistent timeline (readable by ``stats`` /
+``validate-trace``), and ``top`` renders the endpoints as a live
+console (see the "Live mode" section of ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -360,13 +369,21 @@ def _live(args) -> int:
         duration=args.duration,
         rate=args.rate,
         metrics_out=args.metrics_out,
+        nodes=args.nodes,
+        telemetry_dir=args.telemetry_dir,
+        clock_skew=args.clock_skew,
     )
     print(section(
         f"live: {config.streams} streams x {config.replicas} replicas "
+        f"on {config.nodes} node{'s' if config.nodes != 1 else ''} "
         f"over localhost TCP for {config.duration:g} s"
     ))
-    with installed(metrics=MetricsRegistry()):
+    if config.telemetry_dir is not None:
+        # Per-node registries replace the process-wide one; no install.
         report = run_live(config)
+    else:
+        with installed(metrics=MetricsRegistry()):
+            report = run_live(config)
     print(report.summary())
     rows = [
         (name, str(count))
@@ -382,10 +399,48 @@ def _live(args) -> int:
         print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
     for failure in report.kernel_failures:
         print(f"KERNEL FAILURE: {failure}", file=sys.stderr)
+    for dump in report.flight_dumps:
+        print(f"flight recording -> {dump}", file=sys.stderr)
     if args.metrics_out:
         print(f"\nmetrics -> {args.metrics_out} "
               f"(read with `python -m repro stats {args.metrics_out}`)")
+    if report.node_traces:
+        traces = " ".join(
+            report.node_traces[node] for node in sorted(report.node_traces)
+        )
+        print(f"\nper-node traces: {traces}")
+        print(f"merge with: python -m repro trace-merge {traces} "
+              f"--out merged.trace.jsonl")
     return 0 if report.ok else 1
+
+
+def _trace_merge(args) -> int:
+    from .obs import cross_node_messages, merge_files
+
+    events = merge_files(args.traces, out=args.out)
+    nodes = sorted({e.get("node") for e in events if e.get("node")})
+    spanning = cross_node_messages(events)
+    print(f"trace-merge: {len(events)} events from "
+          f"{len(nodes)} nodes ({', '.join(nodes)}) -> {args.out}")
+    print(f"messages observed on more than one node: {len(spanning)}")
+    print(f"validate with: python -m repro validate-trace {args.out}")
+    return 0
+
+
+def _top(args) -> int:
+    import os
+
+    from .runtime import run_top
+
+    endpoints = args.endpoints
+    if os.path.isdir(endpoints):
+        endpoints = os.path.join(endpoints, "endpoints.json")
+    return run_top(
+        endpoints,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -480,10 +535,43 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--metrics-out", default=None,
                       help="write a JSON metrics dump here "
                            "(readable by `stats`)")
+    live.add_argument("--nodes", type=int, default=1,
+                      help="clock/transport domains to partition the "
+                           "cluster into (default 1)")
+    live.add_argument("--telemetry-dir", default=None,
+                      help="write per-node traces + endpoints.json here "
+                           "and serve live HTTP metrics/health endpoints")
+    live.add_argument("--clock-skew", type=float, default=0.0,
+                      help="artificial clock skew between nodes in "
+                           "seconds (exercises trace-merge alignment)")
+
+    merge = sub.add_parser(
+        "trace-merge",
+        help="merge per-node live traces into one aligned timeline",
+    )
+    merge.add_argument("traces", nargs="+",
+                       help="per-node trace JSONL files (from `live "
+                            "--telemetry-dir`)")
+    merge.add_argument("--out", required=True,
+                       help="output JSONL path for the merged timeline")
+
+    top = sub.add_parser(
+        "top", help="live console over a running cluster's endpoints"
+    )
+    top.add_argument("endpoints",
+                     help="endpoints.json written by `live "
+                          "--telemetry-dir` (or the directory itself)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period in seconds (default 1)")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after this many frames (default: forever)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
 
     for name, p in sub.choices.items():
         # Live runs are wall-clock and nondeterministic: no --seed.
-        if name in ("faults", "stats", "validate-trace", "bench", "live"):
+        if name in ("faults", "stats", "validate-trace", "bench", "live",
+                    "trace-merge", "top"):
             continue
         p.add_argument("--seed", type=int, default=1)
         if name in ("provisioning", "all"):
@@ -502,6 +590,8 @@ _DISPATCH = {
     "validate-trace": _validate_trace,
     "bench": _bench,
     "live": _live,
+    "trace-merge": _trace_merge,
+    "top": _top,
 }
 
 

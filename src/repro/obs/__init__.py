@@ -16,6 +16,14 @@ imports ``obs.trace`` -- an eager import here would close that loop
 while ``sim.core`` is still initialising.
 """
 
+from .merge import (
+    cross_node_messages,
+    merge_events,
+    merge_files,
+    read_trace,
+    trace_offsets,
+    write_trace,
+)
 from .recorder import FlightRecorder
 from .schema import EVENT_SCHEMA, SchemaError, validate_event, validate_file
 from .spans import STAGES, LifecycleIndex, MessageLifecycle, SubscriptionTimeline
@@ -51,9 +59,15 @@ __all__ = [
     "SchemaError",
     "SubscriptionTimeline",
     "Tracer",
+    "cross_node_messages",
     "current_metrics",
     "current_tracer",
     "install",
+    "merge_events",
+    "merge_files",
+    "read_trace",
+    "trace_offsets",
+    "write_trace",
     "install_metrics",
     "installed",
     "uninstall",

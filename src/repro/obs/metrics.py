@@ -185,7 +185,14 @@ class MetricsRegistry:
         histograms = []
         for (actor, name), series in self._histograms.items():
             values = series.values
-            entry = {"actor": actor, "name": name, "n": len(values)}
+            # Stat keys are always present -- explicit null rather than
+            # absent -- so consumers (rows_from_dump, the Prometheus
+            # renderer, `repro top`) never need per-key existence
+            # checks and an unsampled histogram keeps its actor row.
+            entry = {
+                "actor": actor, "name": name, "n": len(values),
+                "mean": None, "p50": None, "p95": None, "p99": None,
+            }
             if values:
                 entry.update(
                     mean=sum(values) / len(values),
@@ -213,10 +220,9 @@ def rows_from_dump(data: dict) -> list[tuple[str, str, str, str]]:
         )
     rows: list[tuple[str, str, str, str]] = []
     for entry in data.get("counters", ()):
-        rows.append(
-            (entry["actor"], entry["name"], "counter",
-             f"total={entry['total']:g}")
-        )
+        total = entry.get("total")
+        rendered = "(no total)" if total is None else f"total={total:g}"
+        rows.append((entry["actor"], entry["name"], "counter", rendered))
     for entry in data.get("gauges", ()):
         if entry.get("last") is None:
             rendered = "(no samples)"
@@ -224,7 +230,7 @@ def rows_from_dump(data: dict) -> list[tuple[str, str, str, str]]:
             rendered = f"last={entry['last']:g} peak={entry['peak']:g}"
         rows.append((entry["actor"], entry["name"], "gauge", rendered))
     for entry in data.get("histograms", ()):
-        if not entry.get("n"):
+        if not entry.get("n") or entry.get("mean") is None:
             rendered = "(no samples)"
         else:
             rendered = (

@@ -75,6 +75,11 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "invariant.violation": ("message",),
     # flight-recorder dump metadata
     "meta.violation": ("message",),
+    # live telemetry plane (docs/OBSERVABILITY.md, "Live mode")
+    "net.context": ("src", "dst", "origin"),    # wire trace context arrived
+    "meta.node": ("node", "clock"),             # per-node trace header
+    "meta.clock": ("node", "ref", "offset"),    # handshake offset estimate
+    "meta.merge": ("nodes",),                   # merged-timeline header
 }
 
 _ENVELOPE = ("ts", "seq", "kind", "cat")

@@ -124,17 +124,32 @@ class Tracer:
         Set of category names to capture; defaults to
         :data:`DEFAULT_CATEGORIES`.  Use :data:`ALL_CATEGORIES` to
         include the wire/kernel firehoses.
+    node:
+        Optional node id of the emitting process/clock domain.  When
+        set, every event is stamped with a ``node`` field and ``ts``
+        is understood as that node's local clock; the trace-merge tool
+        (:mod:`repro.obs.merge`) aligns such per-node traces onto one
+        timeline.  Sim traces (one process, one virtual clock) leave it
+        unset, and their events are byte-identical to before.
+    clock:
+        Clock-domain label stamped alongside ``node`` in the
+        ``meta.node`` header event: ``"virtual"`` (sim) or ``"wall"``
+        (live node-local seconds since kernel start).
     """
 
     def __init__(
         self,
         sinks: Iterable[Any] = (),
         categories: Optional[Iterable[str]] = None,
+        node: Optional[str] = None,
+        clock: str = "virtual",
     ):
         self._sinks: list[Callable[[dict], None]] = []
         self._sink_objs: list[Any] = []
         for sink in sinks:
             self.add_sink(sink)
+        self.node = node
+        self.clock = clock
         self.categories = frozenset(
             categories if categories is not None else DEFAULT_CATEGORIES
         )
@@ -162,6 +177,8 @@ class Tracer:
         if category not in self.categories:
             return
         event = {"ts": at, "seq": next(self._seq), "kind": kind, "cat": category}
+        if self.node is not None:
+            event["node"] = self.node
         event.update(fields)
         self.emitted += 1
         for sink in self._sinks:

@@ -16,7 +16,12 @@ actors over real asyncio TCP sockets on localhost:
 * :mod:`repro.runtime.transport` -- :class:`TcpTransport`,
   length-prefixed TCP with per-peer reconnect and backpressure;
 * :mod:`repro.runtime.supervisor` -- :class:`LiveCluster` and
-  :func:`run_live`, the ``python -m repro live`` entry point.
+  :func:`run_live`, the ``python -m repro live`` entry point;
+* :mod:`repro.runtime.telemetry` -- per-node tracer/metrics/HTTP
+  endpoint assembly (:class:`NodeTelemetry`) for the live telemetry
+  plane;
+* :mod:`repro.runtime.console` -- the ``python -m repro top``
+  dashboard over those endpoints.
 
 Only the interface module is imported eagerly: the simulator kernel
 imports :mod:`repro.runtime.kernel` for the shared types, so this
@@ -31,27 +36,39 @@ from .kernel import Envelope, Interrupt, Kernel, Transport
 __all__ = [
     "AsyncioKernel",
     "Envelope",
+    "NodeTelemetry",
+    "TelemetryServer",
     "decode",
+    "decode_with_context",
     "encode",
     "Interrupt",
     "Kernel",
     "LiveCluster",
     "LiveConfig",
+    "LiveNode",
     "LiveReport",
     "TcpTransport",
     "Transport",
+    "prometheus_text",
     "run_live",
+    "run_top",
 ]
 
 _LAZY = {
     "encode": ("repro.runtime.codec", "encode"),
     "decode": ("repro.runtime.codec", "decode"),
+    "decode_with_context": ("repro.runtime.codec", "decode_with_context"),
     "AsyncioKernel": ("repro.runtime.asyncio_kernel", "AsyncioKernel"),
     "TcpTransport": ("repro.runtime.transport", "TcpTransport"),
     "LiveCluster": ("repro.runtime.supervisor", "LiveCluster"),
     "LiveConfig": ("repro.runtime.supervisor", "LiveConfig"),
+    "LiveNode": ("repro.runtime.supervisor", "LiveNode"),
     "LiveReport": ("repro.runtime.supervisor", "LiveReport"),
     "run_live": ("repro.runtime.supervisor", "run_live"),
+    "NodeTelemetry": ("repro.runtime.telemetry", "NodeTelemetry"),
+    "TelemetryServer": ("repro.runtime.telemetry", "TelemetryServer"),
+    "prometheus_text": ("repro.runtime.telemetry", "prometheus_text"),
+    "run_top": ("repro.runtime.console", "run_top"),
 }
 
 

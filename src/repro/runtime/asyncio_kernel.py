@@ -331,16 +331,29 @@ class AsyncioKernel:
     simulator: seconds.
     """
 
-    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None):
+    def __init__(
+        self,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        tracer: Any = _PENDING,
+        metrics: Any = _PENDING,
+        clock_offset: float = 0.0,
+    ):
         self._loop = loop if loop is not None else asyncio.get_event_loop()
-        self._t0 = self._loop.time()
+        # ``clock_offset`` shifts this kernel's clock ahead of the loop
+        # epoch: each node of a multi-node live deployment owns its own
+        # kernel, and distinct offsets model the distinct wall-clock
+        # domains real machines have (the trace-merge tool re-aligns
+        # them; a nonzero offset also exercises that path in tests).
+        self._t0 = self._loop.time() - clock_offset
         # Undefused process/event failures land here; the supervisor
         # treats a non-empty list as a failed run.
         self.failures: list[BaseException] = []
         self.on_failure: Optional[Callable[[BaseException], None]] = None
-        # Observability: same adoption protocol as the sim Environment.
-        self.tracer = current_tracer()
-        self.metrics = current_metrics()
+        # Observability: same adoption protocol as the sim Environment
+        # by default; a multi-node supervisor passes per-node overrides
+        # (each node streams to its own trace file and registry).
+        self.tracer = current_tracer() if tracer is _PENDING else tracer
+        self.metrics = current_metrics() if metrics is _PENDING else metrics
         if self.metrics is not None:
             self.metrics.bind(self)
 

@@ -7,14 +7,26 @@ class (and the token/command types they carry) a stable binary form.
 
 Frame layout (the transport adds its own outer length prefix)::
 
-    [version u8][type_id u16][body_len u32]  <body>  <zero padding>
+    version 1:  [1 u8][type_id u16][body_len u32]  <body>  <zero padding>
+    version 2:  [2 u8][type_id u16][body_len u32]  <body>
+                [ctx_len u32] <trace context>  <zero padding>
 
-* ``version`` is :data:`WIRE_VERSION`; a decoder rejects frames from a
-  different codec generation instead of misparsing them.
+* ``version`` selects the frame generation.  Version 1 is the original
+  format; version 2 appends a *trace context* -- a small dict carrying
+  ``origin`` node id, the sender's node-clock timestamp and (when the
+  payload has one) ``msg_id`` -- after the body, so a message's
+  lifecycle can be followed across nodes (see ``docs/OBSERVABILITY.md``,
+  "Live mode").  Encoding without a context still emits a version-1
+  frame, byte-identical to the pre-context codec, and the decoder
+  accepts every version in :data:`SUPPORTED_WIRE_VERSIONS`; version
+  negotiation is therefore backward compatible in both directions for
+  untraced traffic, and an old decoder rejects (never misparses) a
+  context-bearing frame.
 * ``type_id`` is the registered id of the top-level message class --
   ids are assigned explicitly (never ``enumerate`` over a dict) so the
   wire format does not silently change when a class is added.
-* ``body_len`` delimits the body so trailing padding can be skipped.
+* ``body_len`` delimits the body so the trace context and trailing
+  padding can be located / skipped.
 
 The body is a tagged, recursive value encoding (none/bool/int/float/
 str/bytes/tuple/list/dict/frozenset plus registered objects by id with
@@ -36,14 +48,19 @@ from typing import Any, Callable, Optional
 
 __all__ = [
     "CodecError",
+    "CONTEXT_WIRE_VERSION",
+    "SUPPORTED_WIRE_VERSIONS",
     "WIRE_VERSION",
     "decode",
+    "decode_with_context",
     "encode",
     "register",
     "registered_classes",
 ]
 
-WIRE_VERSION = 1
+WIRE_VERSION = 1                  # base format (no trace context)
+CONTEXT_WIRE_VERSION = 2          # base + appended trace context
+SUPPORTED_WIRE_VERSIONS = frozenset({WIRE_VERSION, CONTEXT_WIRE_VERSION})
 
 _HEADER = struct.Struct("!BHI")   # version, type_id, body_len
 
@@ -205,8 +222,16 @@ def _encode_value(value: Any, out: bytearray) -> None:
         _encode_value(getattr(value, name), out)
 
 
-def encode(message: Any) -> bytes:
-    """Encode a registered message into one padded, versioned frame."""
+def encode(message: Any, trace_context: Optional[dict] = None) -> bytes:
+    """Encode a registered message into one padded, versioned frame.
+
+    With ``trace_context`` (a small JSON-able dict: ``origin`` node,
+    sender timestamp, ``msg_id``...) the frame is emitted as version
+    :data:`CONTEXT_WIRE_VERSION` with the context appended after the
+    body; without it the frame is byte-identical to the pre-context
+    version-1 codec.  The padding up to the modeled ``wire_size`` is
+    applied after the context, so bandwidth accounting is unchanged.
+    """
     spec = _BY_CLASS.get(message.__class__)
     if spec is None:
         raise CodecError(
@@ -215,8 +240,18 @@ def encode(message: Any) -> bytes:
     body = bytearray()
     for name in spec.fields:
         _encode_value(getattr(message, name), body)
-    frame = bytearray(_HEADER.pack(WIRE_VERSION, spec.type_id, len(body)))
-    frame += body
+    if trace_context is None:
+        frame = bytearray(_HEADER.pack(WIRE_VERSION, spec.type_id, len(body)))
+        frame += body
+    else:
+        frame = bytearray(
+            _HEADER.pack(CONTEXT_WIRE_VERSION, spec.type_id, len(body))
+        )
+        frame += body
+        context = bytearray()
+        _encode_value(dict(trace_context), context)
+        frame += _U32.pack(len(context))
+        frame += context
     modeled = getattr(message, "wire_size", None)
     if modeled is not None:
         target = modeled()
@@ -286,14 +321,21 @@ def _decode_value(buf: bytes, pos: int) -> tuple[Any, int]:
     raise CodecError(f"unknown value tag {tag}")
 
 
-def decode(frame: bytes) -> Any:
-    """Decode one frame produced by :func:`encode`."""
+def decode_with_context(frame: bytes) -> tuple[Any, Optional[dict]]:
+    """Decode one frame; returns ``(message, trace_context_or_None)``.
+
+    Accepts every version in :data:`SUPPORTED_WIRE_VERSIONS`: version-1
+    frames (no context section) decode with a ``None`` context, so a
+    context-aware node interoperates with peers speaking the old
+    format.
+    """
     if len(frame) < _HEADER.size:
         raise CodecError(f"frame too short ({len(frame)} bytes)")
     version, type_id, body_len = _HEADER.unpack_from(frame, 0)
-    if version != WIRE_VERSION:
+    if version not in SUPPORTED_WIRE_VERSIONS:
         raise CodecError(
-            f"wire version mismatch: got {version}, expected {WIRE_VERSION}"
+            f"wire version mismatch: got {version}, "
+            f"expected one of {sorted(SUPPORTED_WIRE_VERSIONS)}"
         )
     spec = _BY_ID.get(type_id)
     if spec is None:
@@ -310,7 +352,31 @@ def decode(frame: bytes) -> Any:
             f"frame body length mismatch: consumed {pos - _HEADER.size}, "
             f"declared {body_len}"
         )
-    return spec.construct(**kwargs)
+    context: Optional[dict] = None
+    if version == CONTEXT_WIRE_VERSION:
+        if len(frame) < end + 4:
+            raise CodecError("truncated trace-context length")
+        (ctx_len,) = _U32.unpack_from(frame, end)
+        ctx_end = end + 4 + ctx_len
+        if ctx_end > len(frame):
+            raise CodecError("truncated trace context")
+        value, consumed = _decode_value(frame, end + 4)
+        if consumed != ctx_end:
+            raise CodecError(
+                f"trace-context length mismatch: consumed "
+                f"{consumed - end - 4}, declared {ctx_len}"
+            )
+        if not isinstance(value, dict):
+            raise CodecError(
+                f"trace context is not a dict: {type(value).__name__}"
+            )
+        context = value
+    return spec.construct(**kwargs), context
+
+
+def decode(frame: bytes) -> Any:
+    """Decode one frame produced by :func:`encode` (context discarded)."""
+    return decode_with_context(frame)[0]
 
 
 # -- registry ---------------------------------------------------------

@@ -1,0 +1,217 @@
+"""``python -m repro top``: live console over the telemetry endpoints.
+
+Reads the ``endpoints.json`` a live supervisor writes into its
+``--telemetry-dir``, then polls every node's ``/health`` and
+``/metrics.json`` endpoints and renders a terminal dashboard:
+per-stream decide throughput, replica subscription/merge state, client
+latency quantiles, and transport backpressure.  Runs in a *separate*
+process from the cluster (plain blocking ``urllib`` -- no shared loop),
+so it observes the run exactly the way an operator's Prometheus would.
+
+:func:`render` is pure (snapshots in, text out) so tests can assert on
+the dashboard without sockets; :func:`run_top` is the polling loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+from typing import Optional, TextIO
+
+__all__ = ["ANSI_CLEAR", "fetch_json", "load_endpoints", "render", "run_top"]
+
+ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+
+def load_endpoints(path: str) -> dict[str, tuple[str, int]]:
+    """Parse ``endpoints.json`` into ``{node: (host, port)}``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    nodes = data.get("nodes", {})
+    if not nodes:
+        raise ValueError(f"{path}: no nodes listed")
+    return {
+        name: (info["host"], int(info["port"]))
+        for name, info in sorted(nodes.items())
+    }
+
+
+def fetch_json(
+    host: str, port: int, path: str, timeout: float = 2.0
+) -> Optional[dict]:
+    """GET a JSON endpoint; ``None`` if the node is unreachable."""
+    url = f"http://{host}:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except Exception:
+        return None
+
+
+def _client_latency(metrics: dict[str, Optional[dict]]) -> Optional[dict]:
+    for dump in metrics.values():
+        if not dump:
+            continue
+        for entry in dump.get("histograms", ()):
+            if entry.get("name") == "latency_ms" and entry.get("n"):
+                return entry
+    return None
+
+
+def render(
+    health: dict[str, Optional[dict]],
+    metrics: dict[str, Optional[dict]],
+    previous: Optional[dict[str, dict]] = None,
+    interval: float = 1.0,
+) -> str:
+    """Render one dashboard frame from per-node snapshots.
+
+    ``previous`` holds the prior tick's health snapshots; stream decide
+    rates are the ``positions_decided`` delta over ``interval``.
+    """
+    previous = previous or {}
+    lines: list[str] = []
+    up = sum(1 for snapshot in health.values() if snapshot is not None)
+    lines.append(
+        f"repro top | {up}/{len(health)} nodes up | "
+        f"refresh {interval:g}s | Ctrl-C to quit"
+    )
+
+    lines.append("")
+    lines.append(
+        f"{'NODE':<6}{'STREAM':<8}{'DECIDED':>9}{'RATE/S':>9}  LEADING"
+    )
+    for node in sorted(health):
+        snapshot = health[node]
+        if snapshot is None:
+            lines.append(f"{node:<6}(unreachable)")
+            continue
+        streams = snapshot.get("streams", {})
+        for stream in sorted(streams):
+            entry = streams[stream]
+            decided = entry.get("positions_decided", 0)
+            prior = (previous.get(node) or {}).get("streams", {}).get(stream)
+            if prior is not None and interval > 0:
+                delta = max(0, decided - prior.get("positions_decided", 0))
+                rate = f"{delta / interval:.1f}"
+            else:
+                rate = "-"
+            leading = "yes" if entry.get("leading") else "no"
+            lines.append(
+                f"{node:<6}{stream:<8}{decided:>9}{rate:>9}  {leading}"
+            )
+
+    lines.append("")
+    lines.append(
+        f"{'NODE':<6}{'REPLICA':<9}{'DELIVERED':>10}  "
+        f"{'SUBSCRIPTIONS':<18}MERGE"
+    )
+    for node in sorted(health):
+        snapshot = health[node]
+        if snapshot is None:
+            continue
+        replicas = snapshot.get("replicas", {})
+        for name in sorted(replicas):
+            entry = replicas[name]
+            subs = ",".join(entry.get("subscriptions", ())) or "-"
+            merge = (
+                "switching" if entry.get("pending_subscription") else "steady"
+            )
+            lines.append(
+                f"{node:<6}{name:<9}{entry.get('delivered', 0):>10}  "
+                f"{subs:<18}{merge}"
+            )
+
+    lines.append("")
+    lines.append(
+        f"{'NODE':<6}{'SENT':>8}{'DELIVERED':>11}{'DROPPED':>9}"
+        f"{'RECONNECTS':>12}{'PEAKQ':>7}  QUEUES"
+    )
+    for node in sorted(health):
+        snapshot = health[node]
+        if snapshot is None:
+            continue
+        transport = snapshot.get("transport", {})
+        counters = transport.get("counters", {})
+        depths = transport.get("queue_depths", {})
+        busiest = sorted(
+            depths.items(), key=lambda item: item[1], reverse=True
+        )[:3]
+        queues = (
+            " ".join(f"{dst}:{depth}" for dst, depth in busiest if depth)
+            or "idle"
+        )
+        lines.append(
+            f"{node:<6}"
+            f"{counters.get('messages_sent', 0):>8}"
+            f"{counters.get('messages_delivered', 0):>11}"
+            f"{counters.get('messages_dropped', 0):>9}"
+            f"{counters.get('reconnect_attempts', 0):>12}"
+            f"{counters.get('peak_send_queue', 0):>7}  {queues}"
+        )
+
+    lines.append("")
+    submitted = None
+    for snapshot in health.values():
+        if snapshot and "client" in snapshot:
+            submitted = snapshot["client"].get("submitted")
+    latency = _client_latency(metrics)
+    if latency is not None and latency.get("p50") is not None:
+        latency_text = (
+            f"latency p50 {latency['p50']:.1f} ms "
+            f"p99 {latency['p99']:.1f} ms "
+            f"({latency['n']} samples)"
+        )
+    else:
+        latency_text = "latency n/a"
+    lines.append(
+        f"client: submitted {submitted if submitted is not None else '?'}"
+        f" | {latency_text}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    endpoints_path: str,
+    interval: float = 1.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Poll the cluster's endpoints and redraw until interrupted.
+
+    ``iterations`` bounds the number of frames (None = forever); tests
+    and one-shot inspection pass ``iterations=1, clear=False``.
+    """
+    out = stream if stream is not None else sys.stdout
+    endpoints = load_endpoints(endpoints_path)
+    previous: dict[str, dict] = {}
+    frames = 0
+    try:
+        while True:
+            health = {
+                node: fetch_json(host, port, "/health")
+                for node, (host, port) in endpoints.items()
+            }
+            metrics = {
+                node: fetch_json(host, port, "/metrics.json")
+                for node, (host, port) in endpoints.items()
+            }
+            frame = render(health, metrics, previous, interval)
+            if clear:
+                out.write(ANSI_CLEAR)
+            out.write(frame)
+            out.flush()
+            previous = {
+                node: snapshot
+                for node, snapshot in health.items()
+                if snapshot is not None
+            }
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

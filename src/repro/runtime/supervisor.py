@@ -1,20 +1,42 @@
 """Process supervisor: boot a live Elastic Paxos cluster and drive it.
 
 ``python -m repro live`` lands here.  :func:`run_live` boots a
-multi-stream, multi-replica cluster on the :class:`AsyncioKernel` over
-real localhost TCP sockets (:class:`TcpTransport`), drives a client
-workload against it, performs a *runtime* ``subscribe_msg`` while
-traffic flows, and verifies the paper's guarantees on the live
-backend:
+multi-stream, multi-replica cluster on real localhost TCP sockets,
+drives a client workload against it, performs a *runtime*
+``subscribe_msg`` while traffic flows, and verifies the paper's
+guarantees on the live backend:
 
 * every replica delivers the identical (non-empty) sequence;
 * the dynamic subscription completes on all replicas;
 * the always-on invariant suite (:mod:`repro.faults.invariants`)
   reports zero violations.
 
-All actors run as in-process tasks on one asyncio loop, but every
-protocol message is codec-serialized and travels through the OS TCP
-stack -- there is no in-process delivery shortcut.
+Nodes
+-----
+With ``nodes > 1`` the cluster is partitioned into that many *nodes*:
+each node owns its own :class:`AsyncioKernel` (its own clock domain)
+and :class:`TcpTransport` (its own listener socket), and stream
+deployments / replicas are placed round-robin across them.  All nodes
+still run on one asyncio loop in this process, but every cross-node
+message is codec-serialized and travels socket-to-socket between two
+different listeners -- the same failure surface as two processes,
+minus the fork.
+
+Telemetry
+---------
+With ``telemetry_dir`` set, every node gets a
+:class:`~repro.runtime.telemetry.NodeTelemetry`: a node-stamped tracer
+streaming JSONL to ``<dir>/<node>.trace.jsonl``, a metrics registry,
+and an HTTP endpoint (``/metrics``, ``/metrics.json``, ``/health``,
+``/clock``) whose addresses land in ``<dir>/endpoints.json`` for
+``python -m repro top``.  The supervisor estimates each node's clock
+offset against node 1 with NTP-style ``/clock`` round trips and writes
+``meta.clock`` events into the traces, which is what ``python -m repro
+trace-merge`` uses to align the per-node timelines
+(:mod:`repro.obs.merge`).  A :class:`FlightRecorder` rides on every
+tracer -- telemetry or not -- so a live invariant violation dumps the
+causal ring buffer next to ``--metrics-out`` exactly as the sim fault
+runner does.
 
 Unlike the simulator, live runs are *not* deterministic: the OS
 scheduler and real sockets order events.  Golden digests therefore
@@ -26,6 +48,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -33,11 +56,14 @@ from ..faults.invariants import InvariantSuite, InvariantViolation
 from ..multicast.api import MulticastClient
 from ..multicast.replica import MulticastReplica
 from ..multicast.stream import StreamDeployment
+from ..obs.recorder import FlightRecorder
+from ..obs.trace import Tracer, current_tracer
 from ..paxos.config import StreamConfig
 from .asyncio_kernel import AsyncioKernel
+from .telemetry import NodeTelemetry, aggregate_dumps, estimate_offset, http_get_json
 from .transport import TcpTransport
 
-__all__ = ["LiveCluster", "LiveConfig", "LiveReport", "run_live"]
+__all__ = ["LiveCluster", "LiveConfig", "LiveNode", "LiveReport", "run_live"]
 
 
 def _percentile(values: list, pct: float) -> float:
@@ -63,6 +89,11 @@ class LiveConfig:
     subscribe_after: float = 0.3    # runtime subscribe at this fraction
     drain_timeout: float = 10.0     # wall seconds to reach agreement
     metrics_out: Optional[str] = None
+    nodes: int = 1                  # clock/transport domains to partition into
+    telemetry_dir: Optional[str] = None   # per-node traces + HTTP endpoints
+    clock_skew: float = 0.0         # artificial skew between node clocks (s)
+    scrape_interval: float = 0.5    # supervisor /health polling period
+    clock_sync_samples: int = 5     # /clock round trips per node
 
     def __post_init__(self):
         if self.streams < 1:
@@ -73,6 +104,10 @@ class LiveConfig:
             raise ValueError("duration must be positive")
         if not 0.0 < self.subscribe_after < 1.0:
             raise ValueError("subscribe_after must be a fraction in (0, 1)")
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+        if self.clock_skew < 0:
+            raise ValueError("clock_skew must be non-negative")
 
 
 @dataclass
@@ -94,6 +129,12 @@ class LiveReport:
     latency_p50_ms: Optional[float]
     latency_p99_ms: Optional[float]
     transport_counters: dict[str, int] = field(default_factory=dict)
+    nodes: int = 1
+    node_traces: dict[str, str] = field(default_factory=dict)
+    endpoints: dict[str, str] = field(default_factory=dict)
+    clock_offsets: dict[str, float] = field(default_factory=dict)
+    flight_dumps: list[str] = field(default_factory=list)
+    scrapes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -116,7 +157,8 @@ class LiveReport:
         delivered = min(self.delivered_per_replica.values(), default=0)
         return (
             f"live: {'OK' if self.ok else 'FAILED'} | "
-            f"{self.streams} streams x {self.replicas} replicas | "
+            f"{self.streams} streams x {self.replicas} replicas "
+            f"on {self.nodes} node{'s' if self.nodes != 1 else ''} | "
             f"{delivered} delivered/replica "
             f"({'identical' if self.sequences_identical else 'DIVERGENT'} "
             f"order) | "
@@ -127,16 +169,80 @@ class LiveReport:
         )
 
 
+class LiveNode:
+    """One clock/transport domain: kernel + transport (+ telemetry)."""
+
+    def __init__(
+        self,
+        name: str,
+        kernel: AsyncioKernel,
+        transport: TcpTransport,
+        telemetry: Optional[NodeTelemetry] = None,
+    ):
+        self.name = name
+        self.kernel = kernel
+        self.transport = transport
+        self.telemetry = telemetry
+        self.endpoint: Optional[tuple[str, int]] = None
+
+    def __repr__(self) -> str:
+        return f"<LiveNode {self.name}>"
+
+
 class LiveCluster:
-    """One in-process live deployment: kernel, transport, streams,
-    replicas, client -- plus the taps the report is built from."""
+    """One in-process live deployment: nodes, streams, replicas, client
+    -- plus the telemetry plane and the taps the report is built from."""
 
     def __init__(self, config: LiveConfig):
         self.config = config
-        self.kernel = AsyncioKernel()
-        self.transport = TcpTransport(self.kernel)
+        self.telemetry_enabled = config.telemetry_dir is not None
+        self.nodes: list[LiveNode] = []
+        self.recorder: Optional[FlightRecorder] = None
+        shared_tracer: Optional[Tracer] = None
+        if self.telemetry_enabled:
+            os.makedirs(config.telemetry_dir, exist_ok=True)
+        else:
+            # No telemetry dir: still keep a causal ring buffer so a
+            # live invariant violation ships its history (the sim fault
+            # runner's contract).  Ride on an externally installed
+            # tracer when there is one.
+            self.recorder = FlightRecorder()
+            external = current_tracer()
+            if external is not None:
+                external.add_sink(self.recorder)
+                shared_tracer = external
+            else:
+                shared_tracer = Tracer(sinks=[self.recorder])
+        for index in range(config.nodes):
+            name = f"n{index + 1}"
+            skew = index * config.clock_skew
+            if self.telemetry_enabled:
+                telemetry = NodeTelemetry(
+                    name,
+                    trace_path=os.path.join(
+                        config.telemetry_dir, f"{name}.trace.jsonl"
+                    ),
+                )
+                kernel = AsyncioKernel(
+                    tracer=telemetry.tracer,
+                    metrics=telemetry.registry,
+                    clock_offset=skew,
+                )
+            else:
+                telemetry = None
+                kernel = AsyncioKernel(tracer=shared_tracer, clock_offset=skew)
+            transport = TcpTransport(kernel, node=name)
+            self.nodes.append(LiveNode(name, kernel, transport, telemetry))
+        self.kernel = self.nodes[0].kernel       # reference clock domain
+        self._loop = self.kernel._loop
+        self.node_of: dict[str, str] = {}        # actor/stream -> node name
+
+        def node_for(index: int) -> LiveNode:
+            return self.nodes[index % len(self.nodes)]
+
         self.directory: dict[str, StreamDeployment] = {}
         for index in range(config.streams):
+            node = node_for(index)
             name = f"s{index + 1}"
             stream_config = StreamConfig(
                 name=name,
@@ -146,34 +252,63 @@ class LiveCluster:
                 ),
             )
             self.directory[name] = StreamDeployment(
-                self.kernel, self.transport, stream_config
+                node.kernel, node.transport, stream_config
             )
+            self.node_of[name] = node.name
         self.replicas: dict[str, MulticastReplica] = {}
         self._submit_at: dict[int, float] = {}
         self.latencies_ms: list[float] = []
         for index in range(config.replicas):
+            node = node_for(index)
             name = f"r{index + 1}"
             replica = MulticastReplica(
-                self.kernel, self.transport, name, group="g1",
+                node.kernel, node.transport, name, group="g1",
                 directory=self.directory,
             )
             replica.add_delivery_observer(self._latency_tap)
             self.replicas[name] = replica
+            self.node_of[name] = node.name
         self.invariants = InvariantSuite(self.replicas)
+        client_node = self.nodes[0]
         self.client = MulticastClient(
-            self.kernel, self.transport, "client", self.directory
+            client_node.kernel, client_node.transport, "client", self.directory
         )
+        self.node_of["client"] = client_node.name
         self.submitted = 0
+        self.clock_offsets: dict[str, float] = {}
+        self.scrape_count = 0
+        self.last_health: dict[str, dict] = {}
+        self._scrape_task: Optional[asyncio.Task] = None
 
     def _latency_tap(self, value, stream, position) -> None:
         sent = self._submit_at.get(value.msg_id)
         if sent is not None:
-            self.latencies_ms.append(1000.0 * (self.kernel._now - sent))
+            latency_ms = 1000.0 * (self._loop.time() - sent)
+            self.latencies_ms.append(latency_ms)
+            metrics = self.kernel.metrics
+            if metrics is not None:
+                metrics.histogram("client", "latency_ms").record(latency_ms)
 
     # -- lifecycle ----------------------------------------------------
 
     async def start(self) -> None:
-        await self.transport.start()
+        for node in self.nodes:
+            await node.transport.start()
+        # Every node learns where every other node's hosts listen, so a
+        # cross-node send dials the owning node's socket.
+        for a in self.nodes:
+            for b in self.nodes:
+                if a is b:
+                    continue
+                for hostname in b.transport.hosts():
+                    a.transport.register_address(hostname, b.transport.address)
+        if self.telemetry_enabled:
+            for node in self.nodes:
+                node.telemetry.bind(node.kernel, self._health_fn(node))
+                node.endpoint = await node.telemetry.start_server()
+            self._write_endpoints_file()
+            await self._sync_clocks()
+            self._scrape_task = asyncio.ensure_future(self._scrape_loop())
         for deployment in self.directory.values():
             deployment.start()
         for replica in self.replicas.values():
@@ -181,6 +316,13 @@ class LiveCluster:
         self.client.start()
 
     async def stop(self) -> None:
+        if self._scrape_task is not None:
+            self._scrape_task.cancel()
+            try:
+                await self._scrape_task
+            except asyncio.CancelledError:
+                pass
+            self._scrape_task = None
         self.client.stop()
         for replica in self.replicas.values():
             for core in list(replica.learners.values()):
@@ -189,7 +331,160 @@ class LiveCluster:
         for deployment in self.directory.values():
             deployment.stop()
         await asyncio.sleep(0)      # let interrupted tasks unwind
-        await self.transport.stop()
+        for node in self.nodes:
+            await node.transport.stop()
+        for node in self.nodes:
+            if node.telemetry is not None:
+                await node.telemetry.stop()
+
+    # -- telemetry plane ----------------------------------------------
+
+    def _health_fn(self, node: LiveNode):
+        def snapshot() -> dict:
+            health: dict = {
+                "node": node.name,
+                "now": node.kernel._now,
+                "streams": {},
+                "replicas": {},
+                "transport": {
+                    "queue_depths": node.transport.queue_depths(),
+                    "counters": node.transport.counters(),
+                },
+            }
+            for stream, deployment in self.directory.items():
+                if self.node_of[stream] != node.name:
+                    continue
+                coordinator = deployment.coordinator
+                health["streams"][stream] = {
+                    "next_instance": coordinator.next_instance,
+                    "positions_decided": coordinator.positions_decided,
+                    "leading": coordinator.leading,
+                }
+            for name, replica in self.replicas.items():
+                if self.node_of[name] != node.name:
+                    continue
+                log = self.invariants.logs.get(name)
+                health["replicas"][name] = {
+                    "subscriptions": list(replica.subscriptions),
+                    "positions": dict(replica.merger.positions()),
+                    "delivered": len(log.records) if log is not None else 0,
+                    "pending_subscription": (
+                        replica.merger.pending_subscription is not None
+                    ),
+                }
+            if self.node_of.get("client") == node.name:
+                health["client"] = {"submitted": self.submitted}
+            return health
+
+        return snapshot
+
+    def _write_endpoints_file(self) -> None:
+        path = os.path.join(self.config.telemetry_dir, "endpoints.json")
+        payload = {
+            "nodes": {
+                node.name: {
+                    "host": node.endpoint[0],
+                    "port": node.endpoint[1],
+                    "trace": (
+                        node.telemetry.trace_path
+                        if node.telemetry is not None else None
+                    ),
+                }
+                for node in self.nodes
+            }
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    async def _sync_clocks(self) -> None:
+        """Estimate each node's clock offset against node 1 and record
+        it as a ``meta.clock`` event in that node's trace (the merge
+        tool's alignment input)."""
+        reference = self.nodes[0]
+        self.clock_offsets[reference.name] = 0.0
+        reference.telemetry.tracer.emit(
+            "meta.clock", reference.kernel._now, cat="meta",
+            ref=reference.name, offset=0.0, rtt=0.0,
+        )
+        for node in self.nodes[1:]:
+            samples = []
+            try:
+                for _ in range(max(1, self.config.clock_sync_samples)):
+                    t0 = reference.kernel._now
+                    data = await http_get_json(*node.endpoint, "/clock")
+                    t3 = reference.kernel._now
+                    samples.append((t0, float(data["now"]), t3))
+                offset, rtt = estimate_offset(samples)
+            except Exception:
+                offset, rtt = 0.0, float("inf")
+            self.clock_offsets[node.name] = offset
+            node.telemetry.tracer.emit(
+                "meta.clock", node.kernel._now, cat="meta",
+                ref=reference.name, offset=offset, rtt=rtt,
+            )
+
+    async def _scrape_loop(self) -> None:
+        """Poll every node's /health endpoint; the latest snapshot per
+        node is kept for the report and surfaced to `repro top`."""
+        while True:
+            for node in self.nodes:
+                if node.endpoint is None:
+                    continue
+                try:
+                    self.last_health[node.name] = await http_get_json(
+                        *node.endpoint, "/health"
+                    )
+                    self.scrape_count += 1
+                except Exception:
+                    pass       # endpoint briefly busy; next tick retries
+            await asyncio.sleep(self.config.scrape_interval)
+
+    async def collect_metrics_dump(self) -> Optional[dict]:
+        """The cluster-wide ``repro-metrics/1`` dump.
+
+        With telemetry on, scrapes every node's ``/metrics.json``
+        endpoint (falling back to the in-process registry if a scrape
+        fails) and aggregates with node-prefixed actors; otherwise
+        returns the process-wide registry's dump, as before.
+        """
+        if self.telemetry_enabled:
+            dumps: dict[str, dict] = {}
+            for node in self.nodes:
+                try:
+                    dumps[node.name] = await http_get_json(
+                        *node.endpoint, "/metrics.json"
+                    )
+                except Exception:
+                    dumps[node.name] = node.telemetry.registry.dump()
+            return aggregate_dumps(dumps)
+        if self.kernel.metrics is not None:
+            return self.kernel.metrics.dump()
+        return None
+
+    def dump_flight_recordings(self, message: str) -> list[str]:
+        """Dump every causal ring buffer next to ``--metrics-out``."""
+        if self.config.metrics_out:
+            directory = os.path.dirname(self.config.metrics_out) or "."
+        elif self.config.telemetry_dir:
+            directory = self.config.telemetry_dir
+        else:
+            directory = "."
+        os.makedirs(directory, exist_ok=True)
+        paths: list[str] = []
+        header = {"message": message, "ts": self.kernel._now}
+        if self.telemetry_enabled:
+            for node in self.nodes:
+                path = os.path.join(
+                    directory, f"live-flight-{node.name}.jsonl"
+                )
+                node.telemetry.dump_flight(path, header=header)
+                paths.append(path)
+        elif self.recorder is not None:
+            path = os.path.join(directory, "live-flight.jsonl")
+            self.recorder.dump(path, header=header)
+            paths.append(path)
+        return paths
 
     # -- workload -----------------------------------------------------
 
@@ -197,15 +492,15 @@ class LiveCluster:
         value = self.client.multicast(
             stream, payload=f"m{sequence}", size=self.config.payload_size
         )
-        self._submit_at[value.msg_id] = self.kernel._now
+        self._submit_at[value.msg_id] = self._loop.time()
         self.submitted += 1
 
     async def subscribe(self, new_stream: str, timeout: float) -> bool:
         """Runtime-subscribe the group to ``new_stream``; True once
         every replica's dMerge has switched."""
         self.client.subscribe_msg("g1", new_stream, via_stream="s1")
-        deadline = self.kernel._loop.time() + timeout
-        while self.kernel._loop.time() < deadline:
+        deadline = self._loop.time() + timeout
+        while self._loop.time() < deadline:
             if all(
                 new_stream in replica.subscriptions
                 for replica in self.replicas.values()
@@ -222,11 +517,18 @@ class LiveCluster:
             for name in self.replicas
         }
 
+    def kernel_failures(self) -> list[str]:
+        return [
+            repr(failure)
+            for node in self.nodes
+            for failure in node.kernel.failures
+        ]
+
     async def drain(self, timeout: float) -> bool:
         """Wait until every replica delivered the identical non-empty
         sequence (retransmission heals stragglers)."""
-        deadline = self.kernel._loop.time() + timeout
-        while self.kernel._loop.time() < deadline:
+        deadline = self._loop.time() + timeout
+        while self._loop.time() < deadline:
             sequences = list(self.sequences().values())
             first = sequences[0]
             if first and all(sequence == first for sequence in sequences):
@@ -240,8 +542,7 @@ class LiveCluster:
 
 async def _run(config: LiveConfig) -> LiveReport:
     cluster = LiveCluster(config)
-    kernel = cluster.kernel
-    loop = kernel._loop
+    loop = cluster._loop
     try:
         await cluster.start()
 
@@ -279,11 +580,26 @@ async def _run(config: LiveConfig) -> LiveReport:
         except InvariantViolation as violation:
             violations.append(str(violation))
 
+        flight_dumps: list[str] = []
+        if violations:
+            flight_dumps = cluster.dump_flight_recordings(violations[0])
+
         delivered = {
             name: len(sequence_)
             for name, sequence_ in cluster.sequences().items()
         }
         latencies = cluster.latencies_ms
+        transport_counters: dict[str, int] = {}
+        for node in cluster.nodes:
+            for name, value in node.transport.counters().items():
+                if name == "peak_send_queue":
+                    transport_counters[name] = max(
+                        transport_counters.get(name, 0), value
+                    )
+                else:
+                    transport_counters[name] = (
+                        transport_counters.get(name, 0) + value
+                    )
         report = LiveReport(
             streams=config.streams,
             replicas=config.replicas,
@@ -295,7 +611,7 @@ async def _run(config: LiveConfig) -> LiveReport:
             subscribes_requested=subscribes_requested,
             invariant_checks=cluster.invariants.checks_run,
             violations=violations,
-            kernel_failures=[repr(f) for f in kernel.failures],
+            kernel_failures=cluster.kernel_failures(),
             throughput=min(delivered.values(), default=0) / config.duration,
             latency_p50_ms=(
                 _percentile(latencies, 50) if latencies else None
@@ -303,17 +619,29 @@ async def _run(config: LiveConfig) -> LiveReport:
             latency_p99_ms=(
                 _percentile(latencies, 99) if latencies else None
             ),
-            transport_counters={
-                "messages_sent": cluster.transport.messages_sent,
-                "messages_delivered": cluster.transport.messages_delivered,
-                "messages_dropped": cluster.transport.messages_dropped,
-                "bytes_delivered": cluster.transport.bytes_delivered,
+            transport_counters=transport_counters,
+            nodes=config.nodes,
+            node_traces={
+                node.name: node.telemetry.trace_path
+                for node in cluster.nodes
+                if node.telemetry is not None
+                and node.telemetry.trace_path is not None
             },
+            endpoints={
+                node.name: f"{node.endpoint[0]}:{node.endpoint[1]}"
+                for node in cluster.nodes
+                if node.endpoint is not None
+            },
+            clock_offsets=dict(cluster.clock_offsets),
+            flight_dumps=flight_dumps,
+            scrapes=cluster.scrape_count,
         )
-        if config.metrics_out and kernel.metrics is not None:
-            with open(config.metrics_out, "w") as fh:
-                json.dump(kernel.metrics.dump(), fh, indent=2, sort_keys=True)
-                fh.write("\n")
+        if config.metrics_out:
+            dump = await cluster.collect_metrics_dump()
+            if dump is not None:
+                with open(config.metrics_out, "w") as fh:
+                    json.dump(dump, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
         return report
     finally:
         await cluster.stop()

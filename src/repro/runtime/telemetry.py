@@ -1,0 +1,362 @@
+"""Per-node telemetry plane for the live runtime.
+
+Every node of a live deployment (``python -m repro live --nodes N
+--telemetry-dir DIR``) owns one :class:`NodeTelemetry`:
+
+* a node-stamped :class:`~repro.obs.trace.Tracer` streaming JSONL to
+  ``DIR/<node>.trace.jsonl`` (plus a :class:`FlightRecorder` ring
+  buffer, dumped on invariant violations);
+* a :class:`~repro.obs.metrics.MetricsRegistry` bound to the node's
+  kernel clock;
+* a tiny HTTP/1.0 endpoint (:class:`TelemetryServer`) serving
+
+  ========================  ==========================================
+  ``GET /metrics``          Prometheus text exposition
+  ``GET /metrics.json``     the ``repro-metrics/1`` registry dump
+  ``GET /health``           heartbeat: last-delivered position per
+                            stream, subscription state, transport
+                            queue depths and counters
+  ``GET /clock``            ``{"node": ..., "now": ...}`` -- the
+                            handshake target for clock alignment
+  ========================  ==========================================
+
+The supervisor scrapes these endpoints to aggregate a cluster-wide
+metrics dump, estimates each node's clock offset against the reference
+node with NTP-style ``/clock`` round trips (:func:`estimate_offset`),
+and ``python -m repro top`` renders the same endpoints as a live
+console.
+
+Layering note: :mod:`repro.obs.metrics` builds on the sim monitor
+primitives, so it is imported lazily inside the functions that need a
+registry -- importing this module never drags ``repro.sim`` in (see
+``tests/runtime/test_layering.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Any, Awaitable, Callable, Optional
+
+from ..obs.recorder import FlightRecorder
+from ..obs.trace import DEFAULT_CATEGORIES, JsonlSink, Tracer
+
+__all__ = [
+    "NodeTelemetry",
+    "TelemetryServer",
+    "aggregate_dumps",
+    "estimate_offset",
+    "http_get_json",
+    "prometheus_text",
+]
+
+_UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return _UNSAFE.sub("_", name.strip()).lower()
+
+
+def _prom_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def prometheus_text(dump: dict, node: Optional[str] = None) -> str:
+    """Render a ``repro-metrics/1`` dump as Prometheus text exposition.
+
+    Counters become ``repro_<name>_total``, gauges ``repro_<name>``
+    (last sample) plus ``repro_<name>_peak``, histograms quantile
+    series ``repro_<name>{quantile=...}`` with ``_count``; every series
+    carries an ``actor`` label (and ``node`` when given).  Instruments
+    with no samples are skipped -- Prometheus has no null -- but stay
+    present in the JSON dump.
+    """
+    lines: list[str] = []
+
+    def labels(actor: str, extra: str = "") -> str:
+        parts = [f'actor="{_prom_label(actor)}"']
+        if node is not None:
+            parts.append(f'node="{_prom_label(node)}"')
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}"
+
+    for entry in dump.get("counters", ()):
+        metric = f"repro_{_prom_name(entry['name'])}_total"
+        lines.append(f"{metric}{labels(entry['actor'])} {entry['total']:g}")
+    for entry in dump.get("gauges", ()):
+        if entry.get("last") is None:
+            continue
+        metric = f"repro_{_prom_name(entry['name'])}"
+        lines.append(f"{metric}{labels(entry['actor'])} {entry['last']:g}")
+        lines.append(
+            f"{metric}_peak{labels(entry['actor'])} {entry['peak']:g}"
+        )
+    for entry in dump.get("histograms", ()):
+        metric = f"repro_{_prom_name(entry['name'])}"
+        lines.append(f"{metric}_count{labels(entry['actor'])} {entry['n']:g}")
+        if entry.get("mean") is None:
+            continue
+        lines.append(f"{metric}_mean{labels(entry['actor'])} {entry['mean']:g}")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            value = entry.get(key)
+            if value is not None:
+                extra = 'quantile="%s"' % quantile
+                lines.append(
+                    f"{metric}{labels(entry['actor'], extra)} {value:g}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def estimate_offset(
+    samples: list[tuple[float, float, float]],
+) -> tuple[float, float]:
+    """NTP-style offset from ``(t0, server_now, t3)`` round trips.
+
+    ``t0``/``t3`` are reference-clock reads around the request,
+    ``server_now`` the target node's clock read in between.  Picks the
+    minimum-RTT sample (least queueing noise) and returns
+    ``(offset, rtt)`` where ``offset`` is the target clock minus the
+    reference clock.
+    """
+    if not samples:
+        raise ValueError("no handshake samples")
+    best_offset, best_rtt = 0.0, float("inf")
+    for t0, server_now, t3 in samples:
+        rtt = t3 - t0
+        if rtt < best_rtt:
+            best_rtt = rtt
+            best_offset = server_now - (t0 + t3) / 2.0
+    return best_offset, best_rtt
+
+
+# -- minimal HTTP ------------------------------------------------------
+
+_RESPONSE = (
+    "HTTP/1.0 {status} {reason}\r\n"
+    "Content-Type: {content_type}\r\n"
+    "Content-Length: {length}\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+)
+
+Route = Callable[[], "tuple[str, str]"]      # -> (content_type, body)
+
+
+class TelemetryServer:
+    """A deliberately tiny HTTP/1.0 endpoint (stdlib-only, in-loop).
+
+    Routes are sync callables returning ``(content_type, body)``;
+    unknown paths get 404.  One request per connection -- scrapers and
+    the `top` console poll, they do not stream.
+    """
+
+    def __init__(
+        self,
+        routes: dict[str, Route],
+        bind_host: str = "127.0.0.1",
+        bind_port: int = 0,
+    ):
+        self.routes = dict(routes)
+        self._bind_host = bind_host
+        self._bind_port = bind_port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[tuple[str, int]] = None
+        self.requests_served = 0
+
+    async def start(self) -> tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("telemetry server already started")
+        self._server = await asyncio.start_server(
+            self._serve, self._bind_host, self._bind_port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await reader.readline()
+            parts = request.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            # Drain (and ignore) the request headers.
+            while True:
+                line = await reader.readline()
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            route = self.routes.get(path.partition("?")[0])
+            if route is None:
+                status, reason = 404, "Not Found"
+                content_type, body = "text/plain; charset=utf-8", "not found\n"
+            else:
+                status, reason = 200, "OK"
+                try:
+                    content_type, body = route()
+                except Exception as exc:   # surface, don't kill the loop
+                    status, reason = 500, "Internal Server Error"
+                    content_type = "text/plain; charset=utf-8"
+                    body = f"error: {exc!r}\n"
+            raw = body.encode("utf-8")
+            writer.write(_RESPONSE.format(
+                status=status, reason=reason, content_type=content_type,
+                length=len(raw),
+            ).encode("latin-1"))
+            writer.write(raw)
+            await writer.drain()
+            self.requests_served += 1
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+
+async def http_get_json(
+    host: str, port: int, path: str, timeout: float = 2.0
+) -> Any:
+    """In-loop GET returning the parsed JSON body (raises on non-200)."""
+
+    async def _fetch() -> Any:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        parts = status_line.split()
+        if len(parts) < 2 or parts[1] != "200":
+            raise RuntimeError(f"GET {path}: {status_line!r}")
+        return json.loads(body.decode("utf-8"))
+
+    return await asyncio.wait_for(_fetch(), timeout)
+
+
+def aggregate_dumps(dumps: dict[str, dict]) -> dict:
+    """Merge per-node ``repro-metrics/1`` dumps into one cluster dump.
+
+    Actor names are prefixed ``<node>/`` so the same actor name on two
+    nodes (e.g. each node's transport) stays distinguishable; the
+    result is itself a valid ``repro-metrics/1`` dump.
+    """
+    merged: dict[str, Any] = {
+        "format": "repro-metrics/1",
+        "counters": [], "gauges": [], "histograms": [],
+    }
+    for node in sorted(dumps):
+        dump = dumps[node]
+        for kind in ("counters", "gauges", "histograms"):
+            for entry in dump.get(kind, ()):
+                entry = dict(entry)
+                entry["actor"] = f"{node}/{entry['actor']}"
+                merged[kind].append(entry)
+    for kind in ("counters", "gauges", "histograms"):
+        merged[kind].sort(key=lambda e: (e["actor"], e["name"]))
+    return merged
+
+
+# -- per-node assembly -------------------------------------------------
+
+class NodeTelemetry:
+    """One node's tracer, registry, flight recorder and HTTP endpoint.
+
+    Construct *before* the node's kernel; pass :attr:`tracer` /
+    :attr:`registry` into ``AsyncioKernel(tracer=..., metrics=...)`` so
+    the node's actors adopt them.  ``health`` is a callable the
+    supervisor provides returning the node's health snapshot dict.
+    """
+
+    def __init__(
+        self,
+        node: str,
+        trace_path: Optional[str] = None,
+        categories: Optional[frozenset] = None,
+        flight_capacity: int = 100_000,
+        bind_host: str = "127.0.0.1",
+    ):
+        from ..obs.metrics import MetricsRegistry   # deferred: pulls in sim
+
+        self.node = node
+        self.trace_path = trace_path
+        self.recorder = FlightRecorder(capacity=flight_capacity)
+        sinks: list[Any] = [self.recorder]
+        self._jsonl: Optional[JsonlSink] = None
+        if trace_path is not None:
+            self._jsonl = JsonlSink(trace_path)
+            sinks.append(self._jsonl)
+        self.tracer = Tracer(
+            sinks=sinks,
+            categories=categories if categories is not None else DEFAULT_CATEGORIES,
+            node=node,
+            clock="wall",
+        )
+        self.registry = MetricsRegistry()
+        self.kernel: Any = None          # bound via bind()
+        self.server: Optional[TelemetryServer] = None
+        self._bind_host = bind_host
+        self._health: Callable[[], dict] = lambda: {"node": node}
+
+    def bind(self, kernel: Any, health: Callable[[], dict]) -> None:
+        """Adopt the node's kernel clock and the health snapshot hook,
+        then write the trace's ``meta.node`` header."""
+        self.kernel = kernel
+        self._health = health
+        self.tracer.emit(
+            "meta.node", kernel._now, cat="meta",
+            clock=self.tracer.clock,
+        )
+
+    # -- endpoint -----------------------------------------------------
+
+    def _route_metrics(self) -> tuple[str, str]:
+        return (
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(self.registry.dump(), node=self.node),
+        )
+
+    def _route_metrics_json(self) -> tuple[str, str]:
+        return ("application/json", json.dumps(self.registry.dump()))
+
+    def _route_health(self) -> tuple[str, str]:
+        return ("application/json", json.dumps(self._health()))
+
+    def _route_clock(self) -> tuple[str, str]:
+        now = self.kernel._now if self.kernel is not None else 0.0
+        return ("application/json", json.dumps({"node": self.node, "now": now}))
+
+    async def start_server(self) -> tuple[str, int]:
+        self.server = TelemetryServer(
+            {
+                "/metrics": self._route_metrics,
+                "/metrics.json": self._route_metrics_json,
+                "/health": self._route_health,
+                "/clock": self._route_clock,
+            },
+            bind_host=self._bind_host,
+        )
+        return await self.server.start()
+
+    async def stop(self) -> None:
+        if self.server is not None:
+            await self.server.stop()
+            self.server = None
+        self.tracer.close()
+
+    def dump_flight(self, path: str, header: Optional[dict] = None) -> int:
+        """Dump this node's causal ring buffer to ``path`` (JSONL)."""
+        return self.recorder.dump(path, header=header)

@@ -89,12 +89,15 @@ class _PeerLink:
         while True:
             address = self.transport._addresses.get(self.dst)
             if address is not None:
+                reconnecting = self.connects > 0
                 try:
                     reader, writer = await asyncio.open_connection(*address)
                     self.connects += 1
+                    if reconnecting:
+                        self.transport._count_reconnect()
                     return reader, writer
                 except OSError:
-                    pass
+                    self.transport._count_reconnect()
             await asyncio.sleep(backoff)
             backoff = min(backoff * 2, _BACKOFF_CAP)
 
@@ -138,17 +141,24 @@ class TcpTransport:
         bind_host: str = "127.0.0.1",
         bind_port: int = 0,
         send_queue_frames: int = 1024,
-        encode: Optional[Callable[[Any], bytes]] = None,
+        encode: Optional[Callable[..., bytes]] = None,
         decode: Optional[Callable[[bytes], Any]] = None,
+        node: Optional[str] = None,
     ):
+        decode_with_context = None
         if encode is None or decode is None:
             from . import codec
 
-            encode = encode or codec.encode
-            decode = decode or codec.decode
+            if encode is None:
+                encode = codec.encode
+            if decode is None:
+                decode = codec.decode
+                decode_with_context = codec.decode_with_context
         self.env = kernel
         self._encode = encode
         self._decode = decode
+        self._decode_with_context = decode_with_context
+        self.node = node
         self._bind_host = bind_host
         self._bind_port = bind_port
         self._send_queue_frames = send_queue_frames
@@ -161,8 +171,16 @@ class TcpTransport:
         self._server: Optional[asyncio.AbstractServer] = None
         self.address: Optional[tuple[str, int]] = None
         tracer = kernel.tracer
+        self._tracer = tracer
         self._net_tracer = (
             tracer if tracer is not None and tracer.wants_net else None
+        )
+        # Trace-context propagation rides on *any* installed tracer
+        # (not just the net firehose): the whole point is that another
+        # node can correlate the lifecycle, and the default codec must
+        # be in play for the versioned context field to exist.
+        self._propagate_context = (
+            tracer is not None and decode_with_context is not None
         )
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -170,6 +188,36 @@ class TcpTransport:
         self.messages_duplicated = 0
         self.messages_reordered = 0
         self.bytes_delivered = 0
+        self.dropped_on_crash = 0
+        self.dropped_backpressure = 0
+        self.reconnect_attempts = 0
+        self.peak_send_queue = 0
+        # Registry instruments (None when no registry is installed):
+        # the same numbers as the attributes above, but scrapeable via
+        # the node's /metrics endpoint and `--metrics-out` dumps.
+        metrics = kernel.metrics
+        actor = node if node is not None else "transport"
+        if metrics is not None:
+            self._m_reconnects = metrics.counter(actor, "transport_reconnects")
+            self._m_drop_crash = metrics.counter(
+                actor, "transport_dropped_on_crash"
+            )
+            self._m_drop_backpressure = metrics.counter(
+                actor, "transport_dropped_backpressure"
+            )
+            self._m_queue_depth = metrics.gauge(
+                actor, "transport_send_queue_depth"
+            )
+        else:
+            self._m_reconnects = None
+            self._m_drop_crash = None
+            self._m_drop_backpressure = None
+            self._m_queue_depth = None
+
+    def _count_reconnect(self) -> None:
+        self.reconnect_attempts += 1
+        if self._m_reconnects is not None:
+            self._m_reconnects.record()
 
     # -- lifecycle ----------------------------------------------------
 
@@ -221,6 +269,25 @@ class TcpTransport:
         """Map a (possibly remote) host name to its listener address."""
         self._addresses[name] = address
 
+    # -- introspection (health endpoint / reports) --------------------
+
+    def queue_depths(self) -> dict[str, int]:
+        """Current send-queue depth per destination link."""
+        return {dst: link.queue.qsize() for dst, link in self._links.items()}
+
+    def counters(self) -> dict[str, int]:
+        """The Network-compatible counter set plus live-only extras."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_delivered": self.bytes_delivered,
+            "dropped_on_crash": self.dropped_on_crash,
+            "dropped_backpressure": self.dropped_backpressure,
+            "reconnect_attempts": self.reconnect_attempts,
+            "peak_send_queue": self.peak_send_queue,
+        }
+
     # -- sending ------------------------------------------------------
 
     def _trace_drop(self, src: str, dst: str, payload: Any, reason: str) -> None:
@@ -239,6 +306,9 @@ class TcpTransport:
         sender = self._hosts.get(src)
         if sender is not None and sender.crashed:
             self.messages_dropped += 1
+            self.dropped_on_crash += 1
+            if self._m_drop_crash is not None:
+                self._m_drop_crash.record()
             self._trace_drop(src, dst, payload, "src_crashed")
             return
         tracer = self._net_tracer
@@ -247,7 +317,20 @@ class TcpTransport:
                 "net.send", self.env.now, src=src, dst=dst,
                 type=type(payload).__name__, size=size,
             )
-        body = self._encode(payload)
+        if self._propagate_context:
+            context: dict = {"origin": self.node or src, "ts": self.env._now}
+            # Correlate by message id when the payload carries one --
+            # directly (AppValue) or as a Propose's ordering token.
+            msg_id = getattr(payload, "msg_id", None)
+            if msg_id is None:
+                msg_id = getattr(
+                    getattr(payload, "token", None), "msg_id", None
+                )
+            if msg_id is not None:
+                context["msg_id"] = msg_id
+            body = self._encode(payload, trace_context=context)
+        else:
+            body = self._encode(payload)
         src_raw = src.encode("utf-8")
         dst_raw = dst.encode("utf-8")
         inner = (
@@ -269,7 +352,16 @@ class TcpTransport:
             # backpressure, like a full kernel buffer.  The protocol's
             # retransmission repairs the loss.
             self.messages_dropped += 1
+            self.dropped_backpressure += 1
+            if self._m_drop_backpressure is not None:
+                self._m_drop_backpressure.record()
             self._trace_drop(src, dst, payload, "backpressure")
+            return
+        depth = link.queue.qsize()
+        if depth > self.peak_send_queue:
+            self.peak_send_queue = depth
+        if self._m_queue_depth is not None:
+            self._m_queue_depth.record(depth)
 
     def broadcast(
         self, src: str, dsts: list[str], payload: Any, size: int = 128
@@ -308,7 +400,27 @@ class TcpTransport:
         pos += 2
         dst = inner[pos:pos + dst_len].decode("utf-8")
         pos += dst_len
-        payload = self._decode(inner[pos:])
+        context = None
+        if self._decode_with_context is not None:
+            payload, context = self._decode_with_context(inner[pos:])
+        else:
+            payload = self._decode(inner[pos:])
+        if context is not None and context.get("msg_id") is not None:
+            tracer = self._tracer
+            if tracer is not None:
+                # The propagated context names the *origin* node and the
+                # sender's node-local clock: the merge tool and the
+                # lifecycle index can tie this arrival back to the send
+                # even across clock domains.  Emitted as "meta" (not the
+                # opt-in net firehose) because it carries the msg_id
+                # correlation the default categories exist for, and only
+                # for msg_id-bearing payloads so the volume stays at
+                # value-message scale.
+                tracer.emit(
+                    "net.context", self.env._now, cat="meta", src=src,
+                    dst=dst, origin=context.get("origin"),
+                    msg_id=context["msg_id"], origin_ts=context.get("ts"),
+                )
         receiver = self._hosts.get(dst)
         if receiver is None or receiver.crashed:
             self.messages_dropped += 1

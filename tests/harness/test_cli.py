@@ -158,3 +158,58 @@ def test_all_returns_zero_when_every_experiment_passes(monkeypatch):
     for name in ("fig3", "fig4", "fig5", "provisioning"):
         monkeypatch.setitem(cli._DISPATCH, name, lambda args: None)
     assert cli.main(["all"]) == 0
+
+
+def test_live_telemetry_flags_parse():
+    args = build_parser().parse_args([
+        "live", "--nodes", "2", "--telemetry-dir", "/tmp/t",
+        "--clock-skew", "0.5",
+    ])
+    assert args.command == "live"
+    assert args.nodes == 2
+    assert args.telemetry_dir == "/tmp/t"
+    assert args.clock_skew == 0.5
+    defaults = build_parser().parse_args(["live"])
+    assert defaults.nodes == 1 and defaults.telemetry_dir is None
+
+
+def test_trace_merge_command(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    n1 = tmp_path / "n1.jsonl"
+    n1.write_text(
+        '{"ts":0.0,"seq":0,"kind":"meta.node","cat":"meta",'
+        '"node":"n1","clock":"wall"}\n'
+        '{"ts":1.0,"seq":1,"kind":"client.submit","cat":"client",'
+        '"node":"n1","client":"c","stream":"s1","msg_id":3,"size":64}\n'
+    )
+    n2 = tmp_path / "n2.jsonl"
+    n2.write_text(
+        '{"ts":0.0,"seq":0,"kind":"meta.node","cat":"meta",'
+        '"node":"n2","clock":"wall"}\n'
+        '{"ts":1.5,"seq":1,"kind":"replica.deliver","cat":"replica",'
+        '"node":"n2","replica":"r1","group":"g1","stream":"s1",'
+        '"position":0,"msg_id":3}\n'
+    )
+    out = tmp_path / "merged.jsonl"
+    assert main(["trace-merge", str(n1), str(n2), "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "2 nodes" in printed
+    assert "more than one node: 1" in printed
+    merged = [json.loads(line) for line in out.read_text().splitlines()]
+    assert merged[0]["kind"] == "meta.merge"
+    assert main(["validate-trace", str(out)]) == 0
+
+
+def test_top_accepts_directory_or_file(tmp_path):
+    args = build_parser().parse_args(["top", str(tmp_path)])
+    assert args.command == "top"
+    assert args.interval == 1.0 and args.iterations is None
+    args = build_parser().parse_args([
+        "top", "e.json", "--interval", "0.5", "--iterations", "3",
+        "--no-clear",
+    ])
+    assert args.interval == 0.5 and args.iterations == 3
+    assert args.no_clear is True

@@ -83,3 +83,59 @@ def test_environment_adopts_installed_registry():
         assert registry.env is env   # bound at construction
     assert current_metrics() is None
     assert Environment().metrics is None
+
+
+# -- dump round-trip (live --metrics-out -> repro stats) ---------------
+
+def test_empty_registry_dump_round_trips():
+    registry = MetricsRegistry()
+    dump = registry.dump()
+    assert dump["format"] == "repro-metrics/1"
+    assert dump["counters"] == []
+    assert dump["gauges"] == []
+    assert dump["histograms"] == []
+    from repro.obs.metrics import rows_from_dump
+    assert rows_from_dump(dump) == []
+
+
+def test_sampleless_instruments_survive_dump_round_trip():
+    from repro.obs.metrics import rows_from_dump
+
+    env = Environment()
+    registry = MetricsRegistry()
+    registry.bind(env)
+    registry.gauge("r1", "depth")                # never recorded
+    registry.histogram("client", "latency_ms")   # never recorded
+    registry.counter("r1", "ops")                # zero total
+
+    dump = registry.dump()
+    gauge_entry = dump["gauges"][0]
+    assert gauge_entry["last"] is None and gauge_entry["peak"] is None
+    histogram_entry = dump["histograms"][0]
+    # Stat keys are explicit nulls, never absent: consumers index them.
+    for key in ("mean", "p50", "p95", "p99"):
+        assert key in histogram_entry and histogram_entry[key] is None
+    assert histogram_entry["n"] == 0
+
+    # JSON round trip preserves the shape, and the renderer keeps the
+    # actor rows instead of dropping or crashing on them.
+    import json
+    rows = rows_from_dump(json.loads(json.dumps(dump)))
+    assert len(rows) == 3
+    by_name = {(row[0], row[1]): row[3] for row in rows}
+    assert "no samples" in by_name[("client", "latency_ms")]
+    assert "no samples" in by_name[("r1", "depth")]
+    assert by_name[("r1", "ops")] == "total=0"
+
+
+def test_sampled_histogram_dump_keeps_stats():
+    env = Environment()
+    registry = MetricsRegistry()
+    registry.bind(env)
+    series = registry.histogram("client", "latency_ms")
+    for value in (1.0, 2.0, 3.0):
+        series.record(value)
+    entry = registry.dump()["histograms"][0]
+    assert entry["n"] == 3
+    assert entry["mean"] == pytest.approx(2.0)
+    assert entry["p50"] is not None

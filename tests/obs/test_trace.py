@@ -124,3 +124,23 @@ def test_close_closes_sinks(tmp_path):
     tracer.close()
     assert sink._file.closed
     tracer.close()   # idempotent
+
+
+def test_node_envelope_stamps_every_event():
+    sink = ListSink()
+    tracer = Tracer(sinks=[sink], node="n2", clock="wall")
+    tracer.emit("client.submit", 1.0, client="c", stream="s1",
+                msg_id=1, size=64)
+    assert tracer.node == "n2" and tracer.clock == "wall"
+    assert sink.events[0]["node"] == "n2"
+
+
+def test_sim_tracer_events_unchanged_without_node():
+    # node=None (the sim default) must leave events byte-identical to
+    # the pre-node tracer: no "node" key at all.
+    sink = ListSink()
+    tracer = Tracer(sinks=[sink])
+    tracer.emit("client.submit", 1.0, client="c", stream="s1",
+                msg_id=1, size=64)
+    assert tracer.node is None and tracer.clock == "virtual"
+    assert "node" not in sink.events[0]

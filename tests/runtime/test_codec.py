@@ -216,3 +216,83 @@ def test_big_integers_round_trip():
     huge = 1 << 200
     msg = Heartbeat(nonce=huge)
     assert codec.decode(codec.encode(msg)).nonce == huge
+
+
+# -- trace-context versioning (wire v2) --------------------------------
+
+def test_untraced_encode_is_byte_identical_v1():
+    # No context -> version-1 frames, bit-for-bit what the pre-context
+    # codec produced (old decoders and golden byte counts unaffected).
+    for message in (Heartbeat(nonce=7), Trim(stream="s1", below=4)):
+        frame = codec.encode(message)
+        assert frame[0] == codec.WIRE_VERSION
+        assert len(frame) == message.wire_size()
+
+
+def test_context_frame_round_trips_message_and_context():
+    context = {"origin": "n1", "ts": 1.25, "msg_id": 99}
+    frame = codec.encode(Heartbeat(nonce=7), trace_context=context)
+    assert frame[0] == codec.CONTEXT_WIRE_VERSION
+    message, decoded = codec.decode_with_context(frame)
+    assert message == Heartbeat(nonce=7)
+    assert decoded == context
+    # The plain decoder reads the same frame, discarding the context.
+    assert codec.decode(frame) == Heartbeat(nonce=7)
+
+
+def test_v1_frame_decodes_with_none_context():
+    frame = codec.encode(Decision("s1", 7, _batch(2)))
+    message, context = codec.decode_with_context(frame)
+    assert context is None
+    assert message == Decision("s1", 7, _batch(2))
+
+
+@pytest.mark.parametrize(
+    "cls", codec.registered_classes(), ids=lambda c: c.__name__
+)
+def test_cross_version_round_trip_full_corpus(cls):
+    # Every registered class survives both wire versions with field
+    # equality -- the cross-version interop corpus.
+    original = CORPUS[cls]
+    context = {"origin": "n2", "ts": 0.5}
+    for frame in (
+        codec.encode(original),
+        codec.encode(original, trace_context=context),
+    ):
+        decoded, _ = codec.decode_with_context(frame)
+        assert type(decoded) is cls
+        assert decoded == original
+
+
+def test_context_padding_still_matches_wire_size_when_room():
+    # Context rides inside the modeled padding when it fits, so the
+    # bandwidth model sees the same frame size either way.
+    message = Trim(stream="s1", below=4)
+    plain = codec.encode(message)
+    traced = codec.encode(message, trace_context={"origin": "n1"})
+    assert len(plain) == message.wire_size()
+    assert len(traced) >= len(plain)
+
+
+def test_corrupt_context_rejected():
+    frame = bytearray(
+        codec.encode(Heartbeat(nonce=7), trace_context={"origin": "n1"})
+    )
+    truncated = bytes(frame[: _ctx_length_offset(frame) + 2])
+    with pytest.raises(codec.CodecError):
+        codec.decode_with_context(truncated)
+
+
+def _ctx_length_offset(frame):
+    import struct
+
+    _version, _type_id, body_len = struct.unpack_from("!BHI", frame, 0)
+    return struct.calcsize("!BHI") + body_len
+
+
+def test_supported_versions_are_exactly_one_and_two():
+    assert codec.SUPPORTED_WIRE_VERSIONS == frozenset({1, 2})
+    with pytest.raises(codec.CodecError):
+        bad = bytearray(codec.encode(Heartbeat(nonce=1)))
+        bad[0] = 3
+        codec.decode_with_context(bytes(bad))

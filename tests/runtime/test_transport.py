@@ -115,3 +115,78 @@ def test_backpressure_queue_full_drops():
         await transport.stop()
 
     run(main())
+
+
+def test_drop_counters_feed_the_metrics_registry():
+    async def main():
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        kernel = AsyncioKernel(tracer=None, metrics=registry)
+        transport = TcpTransport(kernel, send_queue_frames=4, node="n1")
+
+        # Crashed *sender*: the frame is dropped at the source.
+        transport.add_host("a").crash()
+        transport.send("a", "b", Heartbeat(nonce=1), 56)
+        assert transport.dropped_on_crash == 1
+
+        # No address for "c": the link can never connect, the bounded
+        # queue fills, further sends drop under backpressure.
+        for nonce in range(10):
+            transport.send("x", "c", Heartbeat(nonce=nonce), 56)
+        assert transport.dropped_backpressure == 6
+        assert transport.peak_send_queue == 4
+        assert transport.queue_depths()["c"] == 4
+
+        counters = transport.counters()
+        assert counters["dropped_on_crash"] == 1
+        assert counters["dropped_backpressure"] == 6
+        assert counters["peak_send_queue"] == 4
+
+        # The same numbers are scrapeable from the registry under the
+        # node's actor name.
+        dump = registry.dump()
+        by_name = {
+            (e["actor"], e["name"]): e["total"] for e in dump["counters"]
+        }
+        assert by_name[("n1", "transport_dropped_on_crash")] == 1
+        assert by_name[("n1", "transport_dropped_backpressure")] == 6
+        gauge = dump["gauges"][0]
+        assert gauge["name"] == "transport_send_queue_depth"
+        assert gauge["peak"] == 4
+        await transport.stop()
+
+    run(main())
+
+
+def test_reconnect_attempts_are_counted():
+    async def main():
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        kernel = AsyncioKernel(tracer=None, metrics=registry)
+        transport = TcpTransport(kernel, node="n1")
+        # Point "b" at a port that was just closed: every connection
+        # attempt is refused and counted.
+        probe = await asyncio.start_server(
+            lambda r, w: None, "127.0.0.1", 0
+        )
+        port = probe.sockets[0].getsockname()[1]
+        probe.close()
+        await probe.wait_closed()
+        transport.register_address("b", ("127.0.0.1", port))
+        transport.send("a", "b", Heartbeat(nonce=1), 56)
+
+        deadline = asyncio.get_event_loop().time() + 5
+        while (
+            transport.reconnect_attempts < 2
+            and asyncio.get_event_loop().time() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        assert transport.reconnect_attempts >= 2
+        dump = registry.dump()
+        totals = {e["name"]: e["total"] for e in dump["counters"]}
+        assert totals["transport_reconnects"] >= 2
+        await transport.stop()
+
+    run(main())
