@@ -9,6 +9,8 @@ Usage::
     python -m repro all
     python -m repro faults list
     python -m repro faults run <scenario> [--seed 1] [--seeds N]
+    python -m repro elasticity --list
+    python -m repro elasticity --scenario ramp [--seed 1] [--dry-run]
     python -m repro trace <experiment> --out trace.jsonl [--categories ...]
     python -m repro stats trace.jsonl
     python -m repro stats metrics.json
@@ -173,6 +175,42 @@ def _faults(args) -> int:
             continue
         print(result.report())
     return 1 if failures else 0
+
+
+def _elasticity(args) -> int:
+    from .elasticity import SCENARIOS, run_scenario
+    from .faults.invariants import InvariantViolation
+
+    if args.list:
+        print(section("Elasticity scenarios"))
+        for name in sorted(SCENARIOS):
+            print(f"  {name:<16} {SCENARIOS[name].description}")
+        return 0
+    if args.scenario is None:
+        print("error: --scenario NAME required (or --list)", file=sys.stderr)
+        return 2
+    if args.scenario not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        print(
+            f"error: unknown scenario {args.scenario!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    print(section(f"elasticity: {args.scenario} (seed {args.seed})"))
+    try:
+        result = run_scenario(
+            args.scenario, seed=args.seed, dry_run=args.dry_run
+        )
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}")
+        dump = getattr(violation, "dump_path", None)
+        if dump:
+            print(f"flight recording -> {dump}", file=sys.stderr)
+        print(f"reproduce with: python -m repro elasticity "
+              f"--scenario {args.scenario} --seed {args.seed}")
+        return 1
+    print(result.report())
+    return 0 if result.ok else 1
 
 
 _TRACEABLE = ("fig3", "fig4", "fig5", "provisioning")
@@ -372,6 +410,9 @@ def _live(args) -> int:
         nodes=args.nodes,
         telemetry_dir=args.telemetry_dir,
         clock_skew=args.clock_skew,
+        autoscale=args.autoscale,
+        rate_ramp=args.rate_ramp,
+        autoscale_ceiling=args.autoscale_ceiling,
     )
     print(section(
         f"live: {config.streams} streams x {config.replicas} replicas "
@@ -385,6 +426,8 @@ def _live(args) -> int:
         with installed(metrics=MetricsRegistry()):
             report = run_live(config)
     print(report.summary())
+    for event in report.autoscale_events:
+        print(f"  autoscale: {event}")
     rows = [
         (name, str(count))
         for name, count in sorted(report.delivered_per_replica.items())
@@ -481,6 +524,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="run this many consecutive seeds starting at --seed",
     )
 
+    elasticity = sub.add_parser(
+        "elasticity",
+        help="closed-loop autoscaler acceptance scenarios "
+             "(docs/ELASTICITY.md)",
+    )
+    elasticity.add_argument("--scenario", default=None,
+                            help="scenario name (see --list)")
+    elasticity.add_argument("--list", action="store_true",
+                            help="list the named scenarios")
+    elasticity.add_argument("--dry-run", action="store_true",
+                            help="advisory mode: record decisions, "
+                                 "execute nothing")
+
     trace = sub.add_parser(
         "trace", help="run an experiment with trace capture to JSONL"
     )
@@ -544,6 +600,16 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--clock-skew", type=float, default=0.0,
                       help="artificial clock skew between nodes in "
                            "seconds (exercises trace-merge alignment)")
+    live.add_argument("--autoscale", action="store_true",
+                      help="closed-loop subscription: an autoscaler "
+                           "polls telemetry and subscribes spare "
+                           "streams under load (docs/ELASTICITY.md)")
+    live.add_argument("--rate-ramp", type=float, default=None,
+                      help="linearly ramp the client rate from --rate "
+                           "to this value over the run")
+    live.add_argument("--autoscale-ceiling", type=float, default=150.0,
+                      help="decided values/s per stream that triggers "
+                           "a subscription (default 150)")
 
     merge = sub.add_parser(
         "trace-merge",
@@ -585,6 +651,7 @@ _DISPATCH = {
     "fig5": _fig5,
     "provisioning": _provisioning,
     "faults": _faults,
+    "elasticity": _elasticity,
     "trace": _trace,
     "stats": _stats,
     "validate-trace": _validate_trace,

@@ -1,0 +1,74 @@
+"""Closed-loop elasticity: observe the telemetry plane, decide against
+declarative policies, and autonomously issue the paper's
+reconfigurations (subscribe a new stream, split a hot shard's key
+range, replace a slow acceptor ring).
+
+The loop is ``signals -> policy -> controller -> actions``:
+
+* :mod:`~repro.elasticity.signals` samples the telemetry plane into
+  immutable snapshots (sim: the metrics registry; live: the per-node
+  HTTP endpoints);
+* :mod:`~repro.elasticity.policy` evaluates declarative rules with
+  hysteresis, cooldowns and a dry-run mode;
+* :mod:`~repro.elasticity.controller` runs the tick loop and traces
+  every decision as ``elastic.*`` events;
+* :mod:`~repro.elasticity.actions` executes reconfigurations through
+  the existing coordination layer;
+* :mod:`~repro.elasticity.router` moves traffic only after the target
+  subscription commits;
+* :mod:`~repro.elasticity.scenarios` is the acceptance harness:
+  deterministic closed-loop scenarios with the full invariant suite
+  attached (``repro elasticity --scenario ramp``).
+
+See docs/ELASTICITY.md for the operator-facing guide.
+"""
+
+from .actions import ReplaceStream, SimExecutor, SplitShard, SubscribeStream
+from .controller import ElasticityController
+from .policy import (
+    BackpressureHighWater,
+    DecideRateCeiling,
+    DecisionRecord,
+    LatencySlo,
+    PolicyEngine,
+    Proposal,
+    SlowStreamSlo,
+    StreamSkew,
+    default_rules,
+)
+from .router import StreamRouter
+from .scenarios import (
+    SCENARIOS,
+    ElasticityResult,
+    ElasticityRunner,
+    ElasticityScenario,
+    get_scenario,
+    run_scenario,
+)
+from .signals import HttpSignalSource, SignalSnapshot, SimSignalSource
+
+__all__ = [
+    "SCENARIOS",
+    "BackpressureHighWater",
+    "DecideRateCeiling",
+    "DecisionRecord",
+    "ElasticityController",
+    "ElasticityResult",
+    "ElasticityRunner",
+    "ElasticityScenario",
+    "HttpSignalSource",
+    "LatencySlo",
+    "PolicyEngine",
+    "Proposal",
+    "ReplaceStream",
+    "SignalSnapshot",
+    "SimExecutor",
+    "SimSignalSource",
+    "SlowStreamSlo",
+    "SplitShard",
+    "StreamSkew",
+    "SubscribeStream",
+    "default_rules",
+    "get_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,120 @@
+"""Traffic router: maps workload shards to streams across reconfigs.
+
+The controller's actions change *where new messages should go* -- a
+fresh stream after a subscribe, another stream for half of a hot
+shard's key range after a split, away from a retiring ring after a
+replace.  The router holds that mapping with two layers:
+
+``desired``
+    Set immediately when an action executes.
+
+``active``
+    What traffic actually follows.  A desired assignment is adopted
+    only once the group's subscription to the target stream has
+    *committed* on every replica: messages multicast to a stream the
+    group is still joining would land before the merge point and be
+    discarded (§IV-B), which is exactly the delivery disruption the
+    acceptance harness asserts never happens.
+
+Each shard owns two half-ranges (``subkey < 0.5`` and ``>= 0.5``), so
+a split moves half of a shard's keyspace without touching the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+__all__ = ["StreamRouter"]
+
+
+class StreamRouter:
+    """Shard -> stream routing table with commit-gated activation."""
+
+    def __init__(self, shards: Iterable[int], initial_streams: Iterable[str]):
+        initial = list(initial_streams)
+        if not initial:
+            raise ValueError("need at least one initial stream")
+        shard_list = sorted(shards)
+        # Round-robin the shards over the initial streams; both halves
+        # of a shard start on the same stream (no split yet).
+        self._desired: dict[int, list[str]] = {}
+        self._active: dict[int, list[str]] = {}
+        for index, shard in enumerate(shard_list):
+            stream = initial[index % len(initial)]
+            self._desired[shard] = [stream, stream]
+            self._active[shard] = [stream, stream]
+
+    # -- routing (the traffic loop's hot call) ------------------------
+
+    def stream_for(self, shard: int, subkey: float) -> str:
+        """The stream a message for ``(shard, subkey)`` goes to now."""
+        return self._active[shard][0 if subkey < 0.5 else 1]
+
+    def active_streams(self) -> tuple[str, ...]:
+        return tuple(sorted({
+            s for halves in self._active.values() for s in halves
+        }))
+
+    def desired_streams(self) -> tuple[str, ...]:
+        return tuple(sorted({
+            s for halves in self._desired.values() for s in halves
+        }))
+
+    # -- reconfiguration intents --------------------------------------
+
+    def spread(self, new_stream: str) -> None:
+        """Rebalance every half-range round-robin over all streams
+        including ``new_stream`` (the capacity scale-out move)."""
+        targets = sorted(set(self.desired_streams()) | {new_stream})
+        slots = [
+            (shard, half)
+            for shard in sorted(self._desired)
+            for half in (0, 1)
+        ]
+        for index, (shard, half) in enumerate(slots):
+            self._desired[shard][half] = targets[index % len(targets)]
+
+    def split(self, shard: int, new_stream: str) -> None:
+        """Move the upper half of ``shard``'s key range to ``new_stream``."""
+        self._desired[shard][1] = new_stream
+
+    def move_all(self, old: str, new: str) -> None:
+        """Redirect every half-range on ``old`` to ``new`` (retirement)."""
+        for halves in self._desired.values():
+            for half in (0, 1):
+                if halves[half] == old:
+                    halves[half] = new
+
+    # -- activation ---------------------------------------------------
+
+    def activate(self, committed: Iterable[str]) -> None:
+        """Adopt desired assignments whose target stream committed."""
+        committed_set = set(committed)
+        for shard, halves in self._desired.items():
+            active = self._active[shard]
+            for half in (0, 1):
+                if active[half] != halves[half] and halves[half] in committed_set:
+                    active[half] = halves[half]
+
+    def routes_to(self, stream: str) -> bool:
+        """True while any *active* half-range still targets ``stream``."""
+        return any(
+            stream in halves for halves in self._active.values()
+        )
+
+    def pick_split(
+        self, stream: str, shard_rate: Mapping[int, float]
+    ) -> Optional[int]:
+        """The hottest unsplit shard routed (actively) to ``stream``.
+
+        Returns None when every shard on the stream is already split --
+        there is nothing left to halve."""
+        candidates = [
+            shard for shard, halves in self._active.items()
+            if halves[0] == stream and halves[0] == halves[1]
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates, key=lambda shard: (shard_rate.get(shard, 0.0), -shard)
+        )

@@ -173,12 +173,19 @@ class ScenarioRunner:
         env = self.cluster.env
         client = self.cluster.client
         interval = 1.0 / self.spec.load_rate
+        share = self.spec.load_share
         index = 0
         while env.now < until:
             client.multicast(stream, payload=(stream, index))
             index += 1
+            # share is None on the legacy path: the constant interval
+            # keeps pre-existing scenarios' digests byte-identical.
+            delay = (
+                interval if share is None
+                else interval / max(share(stream, env.now), 1e-9)
+            )
             try:
-                yield env.timeout(interval)
+                yield env.timeout(delay)
             except Interrupt:
                 return
 

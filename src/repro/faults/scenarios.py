@@ -20,8 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..workload.generators import zipf_shares
 from .schedule import (
     CrashAt,
+    DelaySpike,
     DuplicateWindow,
     PartitionWindow,
     RandomChaos,
@@ -67,6 +69,11 @@ class ScenarioSpec:
     link_latency: float = 0.001
     load_rate: float = 120.0                 # messages/second per stream
     load_until: Optional[float] = None       # defaults to 65% of duration
+    # Optional per-stream load multiplier ``(stream, now) -> factor``:
+    # skewed-traffic scenarios (hot-shard) scale each stream's paced
+    # rate over time.  None keeps the legacy fixed-interval load loop
+    # byte-for-byte identical (the golden digests depend on it).
+    load_share: Optional[Callable[[str, float], float]] = None
     failover: tuple[str, ...] = ()           # streams deployed with a standby
     checkpoint_interval: float = 0.25
     check_interval: float = 0.25
@@ -218,6 +225,48 @@ def _reorder_storm() -> ScenarioSpec:
     )
 
 
+def _hot_shard() -> ScenarioSpec:
+    """A Zipfian skew burst concentrates traffic on S1 (the hot shard's
+    stream) while its acceptor links wobble; mid-storm the group
+    subscribes a relief stream.  The scripted twin of the elasticity
+    harness's hot-shard scenario (``repro elasticity``): here the
+    reconfiguration is at a fixed time, there the closed loop decides
+    it -- both must keep every invariant green."""
+    shares = zipf_shares(2, 1.8)
+
+    def load_share(stream: str, now: float) -> float:
+        if not 1.0 <= now < 3.0:
+            return 1.0
+        if stream == "S1":
+            return 2.0 * shares[0]       # ~1.55x: the hot stream
+        if stream == "S2":
+            return 2.0 * shares[1]       # ~0.45x: the cold one
+        return 1.0
+
+    schedule = Schedule(
+        name="hot-shard",
+        actions=(
+            DelaySpike(
+                start=1.4, end=2.6, extra_latency=0.004,
+                dst=("S1/a1", "S1/a2", "S1/a3"),
+            ),
+        ),
+    )
+    return ScenarioSpec(
+        name="hot-shard",
+        description="Zipfian skew burst overloads S1 under a delay "
+                    "spike; a relief stream is subscribed mid-storm",
+        streams=("S1", "S2", "S3"),
+        groups={"G1": ("S1", "S2")},
+        duration=4.0,
+        schedule=_fixed(schedule),
+        control=(
+            ControlOp(at=1.5, kind="subscribe", group="G1", stream="S3", via="S1"),
+        ),
+        load_share=load_share,
+    )
+
+
 def _chaos() -> ScenarioSpec:
     """Seeded everything-at-once adversary over a 2-group, 3-stream
     cluster: crashes with checkpoint recovery, partitions, loss, delay
@@ -268,6 +317,7 @@ SCENARIOS: dict[str, Callable[[], ScenarioSpec]] = {
     "learner-crash-during-prepare": _learner_crash_during_prepare,
     "duplicate-storm": _duplicate_storm,
     "reorder-storm": _reorder_storm,
+    "hot-shard": _hot_shard,
     "chaos": _chaos,
 }
 

@@ -133,6 +133,18 @@ class MetricsRegistry:
 
     # -- introspection ---------------------------------------------------
 
+    def counters(self) -> dict[tuple[str, str], Counter]:
+        """Live ``(actor, metric) -> Counter`` view (read-only use)."""
+        return dict(self._counters)
+
+    def gauges(self) -> dict[tuple[str, str], Gauge]:
+        """Live ``(actor, metric) -> Gauge`` view (read-only use)."""
+        return dict(self._gauges)
+
+    def histograms(self) -> dict[tuple[str, str], Series]:
+        """Live ``(actor, metric) -> Series`` view (read-only use)."""
+        return dict(self._histograms)
+
     def actors(self) -> list[str]:
         names = {actor for actor, _ in self._counters}
         names.update(actor for actor, _ in self._gauges)

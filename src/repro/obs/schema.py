@@ -73,6 +73,15 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     # fault injection & invariant checking
     "fault.inject": ("action",),
     "invariant.violation": ("message",),
+    # elasticity controller (docs/ELASTICITY.md): one poll per control
+    # tick, one decision per rule that cleared hysteresis/cooldown, and
+    # one action per reconfiguration actually issued.  The action's
+    # request_id is the same id the control.subscribe / merge.* events
+    # carry, which is how validate-trace-era tooling links a decision
+    # to the reconfiguration it caused.
+    "elastic.poll": ("controller",),
+    "elastic.decision": ("controller", "rule", "action", "mode"),
+    "elastic.action": ("controller", "action", "stream", "request_id"),
     # flight-recorder dump metadata
     "meta.violation": ("message",),
     # live telemetry plane (docs/OBSERVABILITY.md, "Live mode")

@@ -74,6 +74,7 @@ DEFAULT_CATEGORIES = frozenset(
         "actor",
         "fault",
         "invariant",
+        "elastic",
         "meta",
     }
 )

@@ -424,8 +424,23 @@ class CoordinatorActor(Actor):
         if instance in self.decided_instances:
             return
         self.decided_instances.add(instance)
-        self.outstanding.pop(instance, None)
+        info = self.outstanding.pop(instance, None)
         self.positions_decided += batch.positions()
+        metrics = self._metrics
+        if metrics is not None and not batch.is_pure_skip():
+            # Per-stream *application* progress: skips are pacing, not
+            # load, so the elasticity signal plane counts value tokens
+            # only (``positions_decided`` grows at ~λ regardless of
+            # load and cannot tell a hot stream from an idle one).
+            values = sum(
+                1 for t in batch.tokens if not isinstance(t, SkipToken)
+            )
+            metrics.counter(self.name, "values_decided").record(values)
+            sent_at = info.get("sent_at") if info is not None else None
+            if sent_at is not None:
+                metrics.histogram(self.name, "decide_latency_ms").record(
+                    1000.0 * (self.env._now - sent_at)
+                )
         tracer = self._tracer
         if tracer is not None:
             tracer.emit(

@@ -94,6 +94,16 @@ class LiveConfig:
     clock_skew: float = 0.0         # artificial skew between node clocks (s)
     scrape_interval: float = 0.5    # supervisor /health polling period
     clock_sync_samples: int = 5     # /clock round trips per node
+    # Closed-loop elasticity (docs/ELASTICITY.md, "Live mode"): instead
+    # of the scripted subscribe at ``subscribe_after``, an autoscaler
+    # task polls the telemetry plane and runtime-subscribes the spare
+    # streams when the decide-rate ceiling is breached.
+    autoscale: bool = False
+    rate_ramp: Optional[float] = None     # ramp client rate to this value
+    autoscale_ceiling: float = 150.0      # decided values/s per stream
+    autoscale_interval: float = 0.25      # controller polling period (s)
+    autoscale_sustain: int = 2            # consecutive breaches to fire
+    autoscale_cooldown: float = 1.5       # seconds between reconfigs
 
     def __post_init__(self):
         if self.streams < 1:
@@ -108,6 +118,12 @@ class LiveConfig:
             raise ValueError("need at least one node")
         if self.clock_skew < 0:
             raise ValueError("clock_skew must be non-negative")
+        if self.rate_ramp is not None and self.rate_ramp <= 0:
+            raise ValueError("rate_ramp must be positive")
+        if self.autoscale_ceiling <= 0:
+            raise ValueError("autoscale_ceiling must be positive")
+        if self.autoscale_interval <= 0:
+            raise ValueError("autoscale_interval must be positive")
 
 
 @dataclass
@@ -135,6 +151,8 @@ class LiveReport:
     clock_offsets: dict[str, float] = field(default_factory=dict)
     flight_dumps: list[str] = field(default_factory=list)
     scrapes: int = 0
+    autoscale: bool = False
+    autoscale_events: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -157,6 +175,7 @@ class LiveReport:
         delivered = min(self.delivered_per_replica.values(), default=0)
         return (
             f"live: {'OK' if self.ok else 'FAILED'} | "
+            f"{'autoscale | ' if self.autoscale else ''}"
             f"{self.streams} streams x {self.replicas} replicas "
             f"on {self.nodes} node{'s' if self.nodes != 1 else ''} | "
             f"{delivered} delivered/replica "
@@ -279,6 +298,9 @@ class LiveCluster:
         self.scrape_count = 0
         self.last_health: dict[str, dict] = {}
         self._scrape_task: Optional[asyncio.Task] = None
+        self.last_subscribe_request_id: Optional[int] = None
+        self._signal_totals: dict[str, float] = {}
+        self._signal_at: Optional[float] = None
 
     def _latency_tap(self, value, stream, position) -> None:
         sent = self._submit_at.get(value.msg_id)
@@ -498,7 +520,9 @@ class LiveCluster:
     async def subscribe(self, new_stream: str, timeout: float) -> bool:
         """Runtime-subscribe the group to ``new_stream``; True once
         every replica's dMerge has switched."""
-        self.client.subscribe_msg("g1", new_stream, via_stream="s1")
+        self.last_subscribe_request_id = self.client.subscribe_msg(
+            "g1", new_stream, via_stream="s1"
+        )
         deadline = self._loop.time() + timeout
         while self._loop.time() < deadline:
             if all(
@@ -510,6 +534,48 @@ class LiveCluster:
         return False
 
     # -- observation --------------------------------------------------
+
+    def introspect_snapshot(self):
+        """A signal snapshot from in-process state -- the autoscaler's
+        fallback when no telemetry endpoints are being served."""
+        from ..elasticity.signals import SignalSnapshot
+
+        now = self._loop.time()
+        dt = None if self._signal_at is None else now - self._signal_at
+        self._signal_at = now
+        # Nodes may share one process-wide registry (no-telemetry runs):
+        # dedupe by identity before summing per-stream counters.
+        registries = {
+            id(node.kernel.metrics): node.kernel.metrics
+            for node in self.nodes
+            if node.kernel.metrics is not None
+        }
+        totals: dict[str, float] = {}
+        for registry in registries.values():
+            for (actor, name), counter in registry.counters().items():
+                if name == "values_decided" and "/" in actor:
+                    stream = actor.split("/", 1)[0]
+                    totals[stream] = totals.get(stream, 0.0) + counter.total
+        decide_rate: dict[str, float] = {}
+        for stream, total in totals.items():
+            last = self._signal_totals.get(stream, total)
+            self._signal_totals[stream] = total
+            if dt is not None and dt > 0:
+                decide_rate[stream] = (total - last) / dt
+        replicas = list(self.replicas.values())
+        committed = tuple(
+            s for s in replicas[0].subscriptions
+            if all(s in r.subscriptions for r in replicas[1:])
+        ) if replicas else ()
+        return SignalSnapshot(
+            at=now,
+            streams=committed,
+            provisioned=tuple(sorted(self.directory)),
+            pending_subscription=any(
+                r.merger.pending_subscription is not None for r in replicas
+            ),
+            decide_rate=decide_rate,
+        )
 
     def sequences(self) -> dict[str, list]:
         return {
@@ -540,6 +606,92 @@ class LiveCluster:
         )
 
 
+async def _autoscale_loop(
+    cluster: LiveCluster,
+    config: LiveConfig,
+    active_streams: list[str],
+    state: dict,
+    until: float,
+) -> None:
+    """The live closed loop: poll the telemetry plane, evaluate the
+    decide-rate policy, and runtime-subscribe spare streams while the
+    workload keeps flowing (docs/ELASTICITY.md, "Live mode").
+
+    Signals come from the per-node HTTP endpoints when telemetry is on
+    (the production shape), falling back to in-process introspection
+    otherwise.  Imports stay inside the function: the runtime layer
+    must not pull the simulator in at module scope.
+    """
+    from ..elasticity.policy import DecideRateCeiling, PolicyEngine
+    from ..elasticity.signals import HttpSignalSource
+
+    loop = cluster._loop
+    start = loop.time()
+    # No max_streams cap: live runs pre-provision their spare streams
+    # (the engine's provisioned-count cap would see them all deployed
+    # from t=0); running out of spares ends the loop below instead.
+    engine = PolicyEngine(
+        (DecideRateCeiling(ceiling=config.autoscale_ceiling),),
+        sustain=config.autoscale_sustain,
+        cooldown=config.autoscale_cooldown,
+    )
+    state["engine"] = engine
+    source = (
+        HttpSignalSource(
+            {node.name: node.endpoint for node in cluster.nodes},
+            clock=loop.time,
+        )
+        if cluster.telemetry_enabled else None
+    )
+    tracer = cluster.kernel.tracer
+    while loop.time() < until:
+        await asyncio.sleep(config.autoscale_interval)
+        if source is not None:
+            snapshot = await source.sample()
+        else:
+            snapshot = cluster.introspect_snapshot()
+        if tracer is not None:
+            tracer.emit(
+                "elastic.poll", cluster.kernel._now, controller="autoscaler",
+                streams=list(snapshot.streams),
+                total_rate=round(snapshot.total_rate, 3),
+                pending=snapshot.pending_subscription,
+            )
+        for proposal in engine.observe(snapshot):
+            spare = [
+                s for s in sorted(cluster.directory)
+                if s not in active_streams
+            ]
+            if not spare:
+                return
+            target = spare[0]
+            state["requested"] += 1
+            state["events"].append(
+                f"t+{loop.time() - start:.2f}s subscribe {target}: "
+                f"{proposal.reason}"
+            )
+            if tracer is not None:
+                tracer.emit(
+                    "elastic.decision", cluster.kernel._now,
+                    controller="autoscaler", rule=proposal.rule,
+                    action=proposal.kind, mode="enforce",
+                    reason=proposal.reason,
+                )
+            done = await cluster.subscribe(
+                target, timeout=config.drain_timeout
+            )
+            if tracer is not None:
+                tracer.emit(
+                    "elastic.action", cluster.kernel._now,
+                    controller="autoscaler", action=proposal.kind,
+                    stream=target,
+                    request_id=cluster.last_subscribe_request_id,
+                )
+            if done:
+                state["completed"] += 1
+                active_streams.append(target)
+
+
 async def _run(config: LiveConfig) -> LiveReport:
     cluster = LiveCluster(config)
     loop = cluster._loop
@@ -554,6 +706,19 @@ async def _run(config: LiveConfig) -> LiveReport:
         workload_end = loop.time() + config.duration
         sequence = 0
         subscribed = subscribes_requested == 0
+        autoscale_state: dict = {"requested": 0, "completed": 0, "events": []}
+        autoscaler: Optional[asyncio.Task] = None
+        if config.autoscale:
+            # The controller owns reconfiguration: the scripted
+            # subscribe is disabled, subscriptions happen only when the
+            # policy engine decides they should.
+            subscribed = True
+            autoscaler = asyncio.ensure_future(
+                _autoscale_loop(
+                    cluster, config, active_streams, autoscale_state,
+                    workload_end,
+                )
+            )
         while loop.time() < workload_end:
             cluster.multicast(
                 active_streams[sequence % len(active_streams)], sequence
@@ -570,7 +735,22 @@ async def _run(config: LiveConfig) -> LiveReport:
                     if done:
                         subscribes_completed += 1
                         active_streams.append(f"s{index + 1}")
+            if config.rate_ramp is not None:
+                frac = min(1.0, max(
+                    0.0,
+                    1.0 - (workload_end - loop.time()) / config.duration,
+                ))
+                rate = config.rate + frac * (config.rate_ramp - config.rate)
+                interval = 1.0 / rate if rate > 0 else config.duration
             await asyncio.sleep(interval)
+        if autoscaler is not None:
+            autoscaler.cancel()
+            try:
+                await autoscaler
+            except asyncio.CancelledError:
+                pass
+            subscribes_requested = autoscale_state["requested"]
+            subscribes_completed = autoscale_state["completed"]
 
         agreed = await cluster.drain(config.drain_timeout)
 
@@ -635,6 +815,8 @@ async def _run(config: LiveConfig) -> LiveReport:
             clock_offsets=dict(cluster.clock_offsets),
             flight_dumps=flight_dumps,
             scrapes=cluster.scrape_count,
+            autoscale=config.autoscale,
+            autoscale_events=list(autoscale_state["events"]),
         )
         if config.metrics_out:
             dump = await cluster.collect_metrics_dump()

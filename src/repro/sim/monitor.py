@@ -25,6 +25,14 @@ range queries (``rate_between``, ``between``, ``percentile``...) only
 see retained samples.  Eviction is amortised O(1) per record: a logical
 start offset advances cheaply and the backing lists are compacted only
 once the dead prefix dominates.
+
+Windowed instruments also re-evaluate the window at *read* time.
+Eviction used to happen only inside ``record()``, so a windowed
+histogram that stopped receiving samples kept reporting the stale tail
+forever -- a controller polling ``percentile(99)`` on an idle stream
+would read the last storm's latencies instead of "no samples".  Reads
+(``values``, ``len``, ``percentile``, ``rate_between``...) now advance
+the live-start against the current virtual time first.
 """
 
 from __future__ import annotations
@@ -77,7 +85,14 @@ class _BoundedSamples:
         self._start = 0                 # first live index
 
     def __len__(self) -> int:
+        self._refresh()
         return len(self._times) - self._start
+
+    def _refresh(self) -> None:
+        """Apply window retention at read time: samples that aged out
+        since the last ``record`` must not leak into reads."""
+        if self.window is not None and len(self._times) > self._start:
+            self._evict()
 
     def _columns(self) -> tuple[list, ...]:
         """The sample columns to evict/compact alongside ``_times``."""
@@ -147,6 +162,7 @@ class Counter(_BoundedSamples):
         """
         if end <= start:
             raise ValueError("end must be after start")
+        self._refresh()
         lo = self._lo(start)
         hi = self._hi(end)
         return sum(self._weights[lo:hi]) / (end - start)
@@ -196,14 +212,17 @@ class Series(_BoundedSamples):
 
     @property
     def values(self) -> tuple[float, ...]:
+        self._refresh()
         return tuple(self._values[self._start:])
 
     @property
     def times(self) -> tuple[float, ...]:
+        self._refresh()
         return tuple(self._times[self._start:])
 
     def between(self, start: float, end: float) -> list[float]:
         """Values sampled in ``[start, end)`` (retained samples only)."""
+        self._refresh()
         lo = self._lo(start)
         hi = self._hi(end)
         return self._values[lo:hi]

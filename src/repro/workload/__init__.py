@@ -1,5 +1,5 @@
 """Workload generation for experiments."""
 
-from .generators import KeyspaceWorkload, key_name
+from .generators import KeyspaceWorkload, key_name, zipf_shares
 
-__all__ = ["KeyspaceWorkload", "key_name"]
+__all__ = ["KeyspaceWorkload", "key_name", "zipf_shares"]

@@ -11,11 +11,29 @@ from __future__ import annotations
 import random
 from typing import Optional  # noqa: F401
 
-__all__ = ["KeyspaceWorkload", "key_name"]
+__all__ = ["KeyspaceWorkload", "key_name", "zipf_shares"]
 
 
 def key_name(index: int) -> str:
     return f"key-{index:08d}"
+
+
+def zipf_shares(n: int, s: float) -> tuple[float, ...]:
+    """Normalised Zipf(s) popularity shares over ``n`` ranks.
+
+    ``zipf_shares(8, 1.8)[0]`` is the fraction of traffic the hottest
+    rank attracts -- the helper both :class:`KeyspaceWorkload` and the
+    skewed load scenarios (``repro.faults`` hot-shard,
+    ``repro.elasticity`` hot-shard) derive their skew from, so the two
+    harnesses agree on what "Zipfian" means.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if s < 0:
+        raise ValueError("s must be >= 0")
+    weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+    total = sum(weights)
+    return tuple(weight / total for weight in weights)
 
 
 class KeyspaceWorkload:
@@ -55,12 +73,10 @@ class KeyspaceWorkload:
         self.zipf_s = zipf_s
         self._zipf_cdf: Optional[list[float]] = None
         if zipf_s > 0:
-            weights = [1.0 / (rank + 1) ** zipf_s for rank in range(n_keys)]
-            total = sum(weights)
             cumulative = 0.0
             self._zipf_cdf = []
-            for weight in weights:
-                cumulative += weight / total
+            for share in zipf_shares(n_keys, zipf_s):
+                cumulative += share
                 self._zipf_cdf.append(cumulative)
 
     def _draw_key_index(self, rng: random.Random) -> int:

@@ -1,0 +1,182 @@
+"""Unit tests: the router's routing algebra and the controller's
+proposal-to-action planning, with no cluster underneath."""
+
+import pytest
+
+from repro.elasticity.actions import ReplaceStream, SplitShard, SubscribeStream
+from repro.elasticity.controller import ElasticityController
+from repro.elasticity.policy import PolicyEngine, Proposal
+from repro.elasticity.router import StreamRouter
+from repro.elasticity.signals import SignalSnapshot
+
+
+# -- router -------------------------------------------------------------
+
+def test_router_round_robins_initial_streams():
+    router = StreamRouter(range(4), ["S1", "S2"])
+    assert router.stream_for(0, 0.1) == "S1"
+    assert router.stream_for(1, 0.1) == "S2"
+    assert router.stream_for(2, 0.9) == "S1"
+    assert router.stream_for(3, 0.9) == "S2"
+    assert router.active_streams() == ("S1", "S2")
+
+
+def test_router_requires_a_stream():
+    with pytest.raises(ValueError):
+        StreamRouter(range(2), [])
+
+
+def test_activation_is_commit_gated():
+    router = StreamRouter(range(2), ["S1"])
+    router.split(0, "S2")
+    # Desired changed, active didn't: S2 has not committed.
+    assert router.desired_streams() == ("S1", "S2")
+    assert router.stream_for(0, 0.9) == "S1"
+    router.activate(["S1"])              # still no S2
+    assert router.stream_for(0, 0.9) == "S1"
+    router.activate(["S1", "S2"])
+    assert router.stream_for(0, 0.9) == "S2"
+    assert router.stream_for(0, 0.1) == "S1"   # lower half stays put
+
+
+def test_split_moves_only_the_upper_half():
+    router = StreamRouter([7], ["S1"])
+    router.split(7, "S9")
+    router.activate(["S1", "S9"])
+    assert router.stream_for(7, 0.49) == "S1"
+    assert router.stream_for(7, 0.5) == "S9"
+
+
+def test_move_all_drains_a_stream():
+    router = StreamRouter(range(3), ["S1", "S2"])
+    router.move_all("S1", "S3")
+    router.activate(["S2", "S3"])
+    assert not router.routes_to("S1")
+    assert router.routes_to("S3")
+
+
+def test_spread_covers_the_new_stream():
+    router = StreamRouter(range(4), ["S1"])
+    router.spread("S2")
+    router.activate(["S1", "S2"])
+    assert router.active_streams() == ("S1", "S2")
+
+
+def test_pick_split_prefers_the_hottest_unsplit_shard():
+    router = StreamRouter(range(4), ["S1"])
+    rates = {0: 10.0, 1: 50.0, 2: 50.0, 3: 5.0}
+    # Tie on rate between shards 1 and 2: the lower shard id wins,
+    # deterministically.
+    assert router.pick_split("S1", rates) == 1
+    router.split(1, "S2")
+    router.activate(["S1", "S2"])
+    assert router.pick_split("S1", rates) == 2
+
+
+def test_pick_split_returns_none_when_everything_is_split():
+    router = StreamRouter([0], ["S1"])
+    router.split(0, "S2")
+    router.activate(["S1", "S2"])
+    assert router.pick_split("S1", {0: 99.0}) is None
+    assert router.pick_split("S9", {}) is None
+
+
+# -- controller planning ------------------------------------------------
+
+class StubExecutor:
+    def __init__(self):
+        self.executed = []
+
+    def next_stream_name(self):
+        return "S9"
+
+    def execute(self, action):
+        self.executed.append(action)
+        return 42
+
+
+def snap(streams=("S1", "S2"), shard_rate=None):
+    return SignalSnapshot(
+        at=1.0, streams=tuple(streams), provisioned=tuple(streams),
+        pending_subscription=False, shard_rate=shard_rate or {},
+    )
+
+
+def controller(router=None):
+    return ElasticityController(
+        source=None, engine=PolicyEngine(rules=()), executor=StubExecutor(),
+        router=router,
+    )
+
+
+def test_plan_subscribe_names_the_next_stream():
+    action = controller().plan(
+        Proposal(kind="subscribe", rule="r", reason=""), snap()
+    )
+    assert action == SubscribeStream(stream="S9", via="S1")
+
+
+def test_plan_split_picks_the_hot_shard():
+    router = StreamRouter(range(2), ["S1"])
+    action = controller(router).plan(
+        Proposal(kind="split", rule="r", reason="", stream="S1"),
+        snap(streams=("S1",), shard_rate={0: 5.0, 1: 80.0}),
+    )
+    assert action == SplitShard(shard=1, stream="S9", via="S1")
+
+
+def test_plan_split_needs_a_router_and_a_live_target():
+    assert controller().plan(
+        Proposal(kind="split", rule="r", reason="", stream="S1"), snap()
+    ) is None
+    router = StreamRouter(range(2), ["S1"])
+    assert controller(router).plan(
+        Proposal(kind="split", rule="r", reason="", stream="GONE"), snap()
+    ) is None
+
+
+def test_plan_replace_routes_around_the_old_stream():
+    action = controller().plan(
+        Proposal(kind="replace", rule="r", reason="", stream="S1"), snap()
+    )
+    # The carrier must not be the ring being retired.
+    assert action == ReplaceStream(old="S1", stream="S9", via="S2")
+
+
+def test_plan_replace_of_a_retired_stream_is_dropped():
+    assert controller().plan(
+        Proposal(kind="replace", rule="r", reason="", stream="S3"), snap()
+    ) is None
+
+
+def test_plan_with_no_committed_streams_is_a_no_op():
+    assert controller().plan(
+        Proposal(kind="subscribe", rule="r", reason=""), snap(streams=())
+    ) is None
+
+
+def test_tick_executes_released_proposals():
+    engine = PolicyEngine(rules=(_AlwaysSubscribe(),), sustain=1, cooldown=0.0)
+    executor = StubExecutor()
+    ctl = ElasticityController(
+        source=_StaticSource(snap()), engine=engine, executor=executor
+    )
+    executed = ctl.tick()
+    assert [a.kind for a in executed] == ["subscribe"]
+    assert executor.executed == executed
+    assert ctl.executed[0][2] == 42
+
+
+class _AlwaysSubscribe:
+    name = "always"
+
+    def evaluate(self, snapshot):
+        return Proposal(kind="subscribe", rule=self.name, reason="test")
+
+
+class _StaticSource:
+    def __init__(self, snapshot):
+        self._snapshot = snapshot
+
+    def sample(self):
+        return self._snapshot

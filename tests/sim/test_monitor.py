@@ -126,11 +126,14 @@ def test_counter_window_evicts_old_samples():
 
     env.process(proc())
     env.run()
-    # The sample at t=0.0 fell out of the [0.5, 1.5] window (a sample
-    # exactly at the window edge is retained).
-    assert len(counter) == 3
+    # Retention is evaluated at *read* time: the run ends at t=2.0, so
+    # the samples at t=0.0 and t=0.5 fell out of the [1.0, 2.0] window
+    # (a sample exactly at the window edge is retained).
+    assert len(counter) == 2
     assert counter.total == 4                       # lifetime, not windowed
-    assert counter.rate_between(0.0, 1.0) == pytest.approx(1.0)
+    assert counter.rate_between(1.0, 2.0) == pytest.approx(2.0)
+    # The evicted interval reports no occurrences, never stale ones.
+    assert counter.rate_between(0.0, 1.0) == 0.0
 
 
 def test_counter_max_samples_keeps_newest():
@@ -170,7 +173,9 @@ def test_series_windowed_between_sees_only_retained():
 
     env.process(proc())
     env.run()
-    assert series.between(0.0, 2.0) == [2.0, 3.0]
+    # Read-time retention: the run ends at t=1.5, so only the sample
+    # at t=1.0 is still inside the 0.9 s window.
+    assert series.between(0.0, 2.0) == [3.0]
 
 
 def test_bounded_compaction_keeps_answers_correct():

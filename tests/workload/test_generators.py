@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.workload import KeyspaceWorkload, key_name
+from repro.workload import KeyspaceWorkload, key_name, zipf_shares
 
 
 def test_key_name_fixed_width_sorted():
@@ -87,3 +87,20 @@ def test_zipf_zero_is_uniform():
         _k, key, _s = workload.next_command(rng)
         counts[key] = counts.get(key, 0) + 1
     assert max(counts.values()) < 3 * min(counts.values())
+
+
+def test_zipf_shares_normalised_and_decreasing():
+    shares = zipf_shares(8, 1.8)
+    assert len(shares) == 8
+    assert abs(sum(shares) - 1.0) < 1e-12
+    assert all(a > b for a, b in zip(shares, shares[1:]))
+    # s=0 is uniform; a single rank takes everything.
+    assert zipf_shares(4, 0.0) == (0.25, 0.25, 0.25, 0.25)
+    assert zipf_shares(1, 1.8) == (1.0,)
+
+
+def test_zipf_shares_validation():
+    with pytest.raises(ValueError):
+        zipf_shares(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_shares(4, -0.1)
