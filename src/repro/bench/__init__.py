@@ -10,7 +10,9 @@ the CI perf-smoke job compares against a committed baseline
 from .suite import (
     BENCH_SCHEMA_VERSION,
     PRE_PR_FIG3_WALL_S,
+    bench_fig3_latency_budget,
     compare_to_baseline,
+    profiler_overhead,
     run_bench,
     summary_lines,
 )
@@ -18,7 +20,9 @@ from .suite import (
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "PRE_PR_FIG3_WALL_S",
+    "bench_fig3_latency_budget",
     "compare_to_baseline",
+    "profiler_overhead",
     "run_bench",
     "summary_lines",
 ]

@@ -5,17 +5,24 @@ it attributes C-level ``heappop`` time to the caller and inflates
 call-heavy frames, which is exactly the shape of the hot path.  A
 sampling profiler built on ``sys._current_frames`` leaves the measured
 run untouched and reports honest wall-clock attribution.
+
+Built on :class:`repro.runtime.profiling.StackSampler`, which samples
+*all* threads -- the original implementation pinned
+``threading.get_ident()`` of the caller, so in live mode (where the
+asyncio loop and transport writers run on other threads) profiles came
+back empty or misattributed.  Stacks are tagged with the thread name
+(``[MainThread] sim:run<...``) so multi-threaded profiles stay legible.
 """
 
 from __future__ import annotations
 
 import collections
-import sys
-import threading
 import time
 from typing import Any, Callable
 
-__all__ = ["sample_profile"]
+from ..runtime.profiling import StackSampler
+
+__all__ = ["StackSampler", "sample_profile"]
 
 
 def sample_profile(
@@ -23,40 +30,25 @@ def sample_profile(
     interval: float = 0.001,
     depth: int = 3,
 ) -> tuple[Any, float, "collections.Counter[str]", int]:
-    """Run ``fn`` while sampling the caller's stack.
+    """Run ``fn`` while sampling every thread's stack.
 
     Returns ``(result, wall_seconds, stack_counter, total_samples)``
-    where each counter key is an innermost-first chain of up to
-    ``depth`` frames formatted ``file:function<file:function<...``.
+    where each counter key is ``[thread] `` followed by an
+    innermost-first chain of up to ``depth`` frames formatted
+    ``file:function<file:function<...``.
     """
-    samples: collections.Counter[str] = collections.Counter()
-    target_id = threading.get_ident()
-    stop = threading.Event()
-
-    def sampler() -> None:
-        while not stop.is_set():
-            frame = sys._current_frames().get(target_id)
-            if frame is not None:
-                chain = []
-                f = frame
-                for _ in range(depth):
-                    if f is None:
-                        break
-                    code = f.f_code
-                    chain.append(
-                        f"{code.co_filename.rsplit('/', 1)[-1]}:{code.co_name}"
-                    )
-                    f = f.f_back
-                samples["<".join(chain)] += 1
-            time.sleep(interval)
-
-    thread = threading.Thread(target=sampler, daemon=True)
-    thread.start()
+    sampler = StackSampler(interval=interval)
+    sampler.start()
     t0 = time.perf_counter()
     try:
         result = fn()
     finally:
         wall = time.perf_counter() - t0
-        stop.set()
-        thread.join()
+        sampler.stop()
+    samples: collections.Counter[str] = collections.Counter()
+    for (thread, frames), count in sampler.samples.items():
+        # StackSampler keeps frames root-first; the bench report reads
+        # innermost-first, truncated to the requested depth.
+        chain = "<".join(reversed(frames[-depth:] if depth else frames))
+        samples[f"[{thread}] {chain}"] += count
     return result, wall, samples, sum(samples.values())

@@ -28,7 +28,9 @@ from typing import Any, Callable, Optional
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "PRE_PR_FIG3_WALL_S",
+    "bench_fig3_latency_budget",
     "compare_to_baseline",
+    "profiler_overhead",
     "run_bench",
     "summary_lines",
 ]
@@ -229,6 +231,64 @@ def bench_fig3_e2e(quick: bool) -> dict:
         out["pre_pr_wall_s"] = PRE_PR_FIG3_WALL_S
         out["speedup_vs_pre_pr"] = PRE_PR_FIG3_WALL_S / wall
     return out
+
+
+def bench_fig3_latency_budget(quick: bool) -> dict:
+    """Re-run the figure-3 experiment under a streaming LifecycleIndex
+    tracer and return its latency-budget report
+    (``repro bench --latency-budget`` embeds it in the BENCH json).
+
+    Deterministic: the sim runs in virtual time, so the budget is a
+    pure function of the pinned seed -- same seed, same report.
+    """
+    from ..harness.experiments.vertical import run_vertical
+    from ..obs.critpath import latency_budget
+    from ..obs.spans import LifecycleIndex
+    from ..obs.trace import Tracer, installed
+
+    index = LifecycleIndex()
+    with installed(Tracer(sinks=[index])):
+        run_vertical(_fig3_config(quick))
+    return latency_budget(index)
+
+
+def profiler_overhead(reps: int = 5, interval: float = 0.02) -> dict:
+    """Quick fig3 wall clock with the stack sampler off vs. on.
+
+    The always-on profiling plane is only viable if sampling stays in
+    the noise; CI asserts the overhead below 5%
+    (``repro bench --profile-overhead``).  Off/on reps are interleaved
+    and each side keeps its best wall clock, so slow drift on a shared
+    CI box (cache state, noisy neighbours) cancels instead of landing
+    on whichever side ran last.
+    """
+    from ..harness.experiments.vertical import run_vertical
+    from ..runtime.profiling import StackSampler
+
+    config = _fig3_config(True)
+
+    off_wall = float("inf")
+    on_wall = float("inf")
+    on_samples = 0
+    run_vertical(config)   # warm-up: imports + allocator steady state
+    for _ in range(reps):
+        wall, _ = _timed(lambda: run_vertical(config))
+        off_wall = min(off_wall, wall)
+        sampler = StackSampler(interval=interval)
+        sampler.start()
+        try:
+            wall, _ = _timed(lambda: run_vertical(config))
+        finally:
+            samples = sampler.stop()
+        if wall < on_wall:
+            on_wall, on_samples = wall, samples
+    return {
+        "off_wall_s": off_wall,
+        "on_wall_s": on_wall,
+        "samples": on_samples,
+        "interval": interval,
+        "overhead": on_wall / off_wall - 1.0,
+    }
 
 
 # -- the suite ----------------------------------------------------------------

@@ -15,11 +15,14 @@ Usage::
     python -m repro stats trace.jsonl
     python -m repro stats metrics.json
     python -m repro validate-trace trace.jsonl
+    python -m repro latency trace.jsonl [--out budget.json] [--diff base.json]
     python -m repro bench [--quick] [--profile] [--out BENCH.json]
                           [--baseline BENCH_baseline.json] [--threshold 0.25]
+                          [--latency-budget] [--profile-overhead]
     python -m repro live [--streams 2] [--replicas 3] [--duration 5]
                          [--rate 200] [--metrics-out metrics.json]
                          [--nodes 2] [--telemetry-dir DIR] [--clock-skew 0.5]
+                         [--profile-dir DIR]
     python -m repro trace-merge n1.trace.jsonl n2.trace.jsonl --out merged.jsonl
     python -m repro top DIR/endpoints.json [--interval 1] [--iterations N]
 
@@ -44,6 +47,10 @@ node-stamped trace and serving live HTTP metrics/health endpoints;
 causally-consistent timeline (readable by ``stats`` /
 ``validate-trace``), and ``top`` renders the endpoints as a live
 console (see the "Live mode" section of ``docs/OBSERVABILITY.md``).
+``latency`` decomposes each delivered message's end-to-end latency
+into named critical-path segments and prints the latency-budget
+report (works on sim traces and ``trace-merge``d live traces alike;
+see the "Latency attribution" section of ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -341,10 +348,57 @@ def _validate_trace(args) -> int:
     return 0
 
 
+def _latency(args) -> int:
+    from .obs import LifecycleIndex
+    from .obs.critpath import (
+        budget_lines,
+        diff_budgets,
+        latency_budget,
+        load_budget,
+        write_budget,
+    )
+
+    index = LifecycleIndex.from_jsonl(args.trace)
+    budget = latency_budget(index)
+    print(section(f"Latency budget: {args.trace}"))
+    for line in budget_lines(budget):
+        print(line)
+    if args.diff:
+        try:
+            baseline = load_budget(args.diff)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print(f"diff vs {args.diff}:")
+        for line in diff_budgets(baseline, budget):
+            print(line)
+    if args.out:
+        write_budget(budget, args.out)
+        print(f"\nbudget -> {args.out}")
+    return 0 if budget["messages"]["complete"] else 1
+
+
 def _bench(args) -> int:
     import json
 
     from .bench import compare_to_baseline, run_bench, summary_lines
+
+    if args.profile_overhead:
+        from .bench import profiler_overhead
+
+        print(section("bench --profile-overhead: sampler cost on quick fig3"))
+        result = profiler_overhead()
+        print(f"off  : {result['off_wall_s']:.3f}s wall")
+        print(f"on   : {result['on_wall_s']:.3f}s wall "
+              f"({result['samples']} samples at "
+              f"{1000 * result['interval']:g}ms)")
+        print(f"overhead: {result['overhead']:+.1%} "
+              f"(threshold {args.overhead_threshold:.0%})")
+        if result["overhead"] > args.overhead_threshold:
+            print("PROFILER OVERHEAD REGRESSION")
+            return 1
+        return 0
 
     if args.profile:
         from .bench.profiler import sample_profile
@@ -369,6 +423,16 @@ def _bench(args) -> int:
     ))
     for line in summary_lines(report):
         print(line)
+
+    if args.latency_budget:
+        from .bench import bench_fig3_latency_budget
+        from .obs.critpath import budget_lines
+
+        budget = bench_fig3_latency_budget(args.quick)
+        report["latency_budget"] = budget
+        print()
+        for line in budget_lines(budget):
+            print(line)
 
     status = 0
     if args.baseline:
@@ -413,6 +477,7 @@ def _live(args) -> int:
         autoscale=args.autoscale,
         rate_ramp=args.rate_ramp,
         autoscale_ceiling=args.autoscale_ceiling,
+        profile_dir=args.profile_dir,
     )
     print(section(
         f"live: {config.streams} streams x {config.replicas} replicas "
@@ -454,6 +519,10 @@ def _live(args) -> int:
         print(f"\nper-node traces: {traces}")
         print(f"merge with: python -m repro trace-merge {traces} "
               f"--out merged.trace.jsonl")
+    if report.profile_files:
+        print("\nprofiles (flamegraph-compatible collapsed stacks):")
+        for node in sorted(report.profile_files):
+            print(f"  {node}: {report.profile_files[node]}")
     return 0 if report.ok else 1
 
 
@@ -561,6 +630,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("trace", help="trace JSONL file to validate")
 
+    latency = sub.add_parser(
+        "latency",
+        help="critical-path latency budget from a recorded trace",
+    )
+    latency.add_argument(
+        "trace",
+        help="trace JSONL file (from `trace` or `trace-merge`)",
+    )
+    latency.add_argument("--out", default=None,
+                         help="write the JSON budget report here")
+    latency.add_argument("--diff", default=None,
+                         help="compare against a saved budget JSON")
+
     bench = sub.add_parser(
         "bench", help="performance microbenchmarks (docs/PERFORMANCE.md)"
     )
@@ -574,6 +656,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare against a committed BENCH_*.json report")
     bench.add_argument("--threshold", type=float, default=0.25,
                        help="regression threshold as a fraction (default 0.25)")
+    bench.add_argument("--latency-budget", action="store_true",
+                       help="also run a traced fig3 and embed its "
+                            "critical-path latency budget in the report")
+    bench.add_argument("--profile-overhead", action="store_true",
+                       help="measure the stack sampler's overhead on the "
+                            "quick fig3 run instead (the CI gate)")
+    bench.add_argument("--overhead-threshold", type=float, default=0.05,
+                       help="allowed profiler overhead as a fraction "
+                            "(default 0.05)")
 
     live = sub.add_parser(
         "live",
@@ -610,6 +701,10 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--autoscale-ceiling", type=float, default=150.0,
                       help="decided values/s per stream that triggers "
                            "a subscription (default 150)")
+    live.add_argument("--profile-dir", default=None,
+                      help="run the per-node stack sampler and write "
+                           "flamegraph-compatible collapsed stacks to "
+                           "DIR/<node>.stacks.txt")
 
     merge = sub.add_parser(
         "trace-merge",
@@ -636,8 +731,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     for name, p in sub.choices.items():
         # Live runs are wall-clock and nondeterministic: no --seed.
-        if name in ("faults", "stats", "validate-trace", "bench", "live",
-                    "trace-merge", "top"):
+        if name in ("faults", "stats", "validate-trace", "latency", "bench",
+                    "live", "trace-merge", "top"):
             continue
         p.add_argument("--seed", type=int, default=1)
         if name in ("provisioning", "all"):
@@ -655,6 +750,7 @@ _DISPATCH = {
     "trace": _trace,
     "stats": _stats,
     "validate-trace": _validate_trace,
+    "latency": _latency,
     "bench": _bench,
     "live": _live,
     "trace-merge": _trace_merge,

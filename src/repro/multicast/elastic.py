@@ -142,6 +142,12 @@ class ElasticMerger:
         # The merger runs standalone in unit tests (env=None); when
         # simulated, env.tracer is fixed, so pre-gate the probe here.
         self._tracer = env.tracer if env is not None else None
+        self._metrics = getattr(env, "metrics", None) if env is not None else None
+        # Head-of-line tracking for latency attribution: which stream
+        # the round-robin turn is blocked on, since when.  Only when a
+        # tracer or metrics are installed -- untraced runs skip it all.
+        self._hol_track = self._tracer is not None or self._metrics is not None
+        self._blocked_since: Optional[tuple[str, float]] = None
 
         self.sigma: list[str] = []
         self._cursors: dict[str, StreamCursor] = {}
@@ -158,6 +164,24 @@ class ElasticMerger:
             tracer.emit(
                 kind, self.env.now, replica=self.owner, group=self.group,
                 **fields,
+            )
+
+    def _note_unblocked(self) -> None:
+        """The round-robin turn just produced a token after having been
+        blocked: emit the head-of-line episode the latency budget blames
+        ``merge_wait`` on (docs/OBSERVABILITY.md)."""
+        blocked = self._blocked_since
+        self._blocked_since = None
+        if blocked is None:
+            return
+        stream, since = blocked
+        waited = self.now() - since
+        if waited <= 0.0:
+            return
+        self._emit("merge.head_of_line", stream=stream, waited=waited)
+        if self._metrics is not None:
+            self._metrics.histogram(self.owner, "merge_hol_wait_ms").record(
+                1000.0 * waited
             )
 
     # -- setup -------------------------------------------------------------
@@ -237,7 +261,11 @@ class ElasticMerger:
         cursor = self._cursors[stream]
         token = cursor.peek()
         if token is None:
+            if self._hol_track and self._blocked_since is None:
+                self._blocked_since = (stream, self.now())
             return False
+        if self._blocked_since is not None:
+            self._note_unblocked()
         self._rr = (self._rr + 1) % len(self.sigma)
         self._consume(stream, cursor, token, deliver=True)
         return True

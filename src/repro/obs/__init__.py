@@ -8,6 +8,8 @@ See ``docs/OBSERVABILITY.md`` for the guide.  The usual entry points:
 - :class:`LifecycleIndex` -- correlate a trace into per-message causal
   spans and per-stage latency samples.
 - :class:`MetricsRegistry` -- per-actor counters / gauges / histograms.
+- :func:`latency_budget` -- critical-path latency attribution over a
+  :class:`LifecycleIndex` (``python -m repro latency``).
 - :func:`validate_file` -- JSONL trace schema validation (used by CI).
 
 ``MetricsRegistry`` / ``Gauge`` are exposed lazily: ``obs.metrics``
@@ -16,6 +18,15 @@ imports ``obs.trace`` -- an eager import here would close that loop
 while ``sim.core`` is still initialising.
 """
 
+from .critpath import (
+    BUDGET_FORMAT,
+    SEGMENTS,
+    CriticalPath,
+    budget_lines,
+    diff_budgets,
+    extract_critical_paths,
+    latency_budget,
+)
 from .merge import (
     cross_node_messages,
     merge_events,
@@ -44,8 +55,15 @@ from .trace import (
 
 __all__ = [
     "ALL_CATEGORIES",
+    "BUDGET_FORMAT",
+    "CriticalPath",
     "DEFAULT_CATEGORIES",
     "EVENT_SCHEMA",
+    "SEGMENTS",
+    "budget_lines",
+    "diff_budgets",
+    "extract_critical_paths",
+    "latency_budget",
     "FlightRecorder",
     "Gauge",
     "JsonlSink",

@@ -131,6 +131,24 @@ class MetricsRegistry:
             )
         return instrument
 
+    def windowed_histogram(
+        self, actor: str, name: str, window: float
+    ) -> Series:
+        """A histogram with an explicit per-instrument retention window
+        (overriding the registry-wide default, which live registries
+        leave unset).  Used by probes whose quantiles must reflect the
+        recent window -- e.g. the event-loop-lag probe.  If the key
+        already exists, the existing instrument (and its window) wins.
+        """
+        key = (actor, name)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Series(
+                self._require_env(), f"{actor}:{name}", window=window,
+                max_samples=self.max_samples,
+            )
+        return instrument
+
     # -- introspection ---------------------------------------------------
 
     def counters(self) -> dict[tuple[str, str], Counter]:

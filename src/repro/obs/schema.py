@@ -68,6 +68,10 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     ),
     "merge.unsubscribe": ("replica", "group", "stream", "request_id"),
     "merge.prepare": ("replica", "group", "stream", "request_id"),
+    # dMerge head-of-line wait ended: the merger's round-robin turn was
+    # blocked ``waited`` seconds on ``stream`` before it produced the
+    # next token (latency-attribution hint, docs/OBSERVABILITY.md).
+    "merge.head_of_line": ("replica", "group", "stream", "waited"),
     # replica delivery (the end of a message's life)
     "replica.deliver": ("replica", "group", "stream", "position", "msg_id"),
     # fault injection & invariant checking
@@ -86,6 +90,9 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "meta.violation": ("message",),
     # live telemetry plane (docs/OBSERVABILITY.md, "Live mode")
     "net.context": ("src", "dst", "origin"),    # wire trace context arrived
+    # Live transport: frame left the per-peer send queue after ``wait``
+    # seconds (queue vs. wire split for latency attribution).
+    "transport.queue_wait": ("dst", "msg_id", "wait"),
     "meta.node": ("node", "clock"),             # per-node trace header
     "meta.clock": ("node", "ref", "offset"),    # handshake offset estimate
     "meta.merge": ("nodes",),                   # merged-timeline header

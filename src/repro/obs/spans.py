@@ -63,6 +63,15 @@ class MessageLifecycle:
     delivered_at: dict = field(default_factory=dict)  # replica -> time
     position: Optional[int] = None
     acked_at: Optional[float] = None
+    # Attribution extras (docs/OBSERVABILITY.md, "Latency attribution"):
+    # the acceptor whose 2b (or ring decision) closed the instance, the
+    # summed transport send-queue wait of this message's frames (live
+    # mode), and raw ``net.context`` arrivals ``(ts, origin, origin_ts)``
+    # from which queue-vs-wire transit is derived by repro.obs.critpath.
+    closed_by: Optional[str] = None
+    queue_wait: float = 0.0
+    queue_wait_events: int = 0
+    context_arrivals: list = field(default_factory=list)
 
     @property
     def delivered(self) -> bool:
@@ -86,7 +95,11 @@ class MessageLifecycle:
 
         def put(stage: str, start: Optional[float], end: Optional[float]):
             if start is not None and end is not None:
-                out[stage] = end - start
+                # Clock-adjusted merged traces can leave residual skew on
+                # stages outside the causal-repair set; never report a
+                # negative latency.
+                delta = end - start
+                out[stage] = delta if delta > 0.0 else 0.0
 
         put("submit->propose", self.submitted_at, self.proposed_at)
         put("propose->phase2", self.proposed_at, self.phase2_at)
@@ -138,6 +151,13 @@ class LifecycleIndex:
         # been indexed (retransmission paths).
         self._instance_msgs: dict[tuple[str, int], tuple[int, ...]] = {}
         self.events_seen = 0
+        # merge.head_of_line episodes: (replica, end_ts, waited, stream);
+        # critpath.py blames each message's merge wait on the episode
+        # overlapping its learn->deliver window.
+        self.hol_episodes: list[tuple[str, float, float, str]] = []
+        # node -> clock offset applied by trace-merge (meta.clock /
+        # meta.merge); used to align raw ``origin_ts`` sender clocks.
+        self.clock_offsets: dict[str, float] = {}
 
     # -- construction ----------------------------------------------------
 
@@ -209,10 +229,13 @@ class LifecycleIndex:
                     m.instance = event["instance"]
         elif kind == "coord.decide":
             key = (event["stream"], event["instance"])
+            closed_by = event.get("closed_by")
             for msg_id in self._instance_msgs.get(key, ()):
                 m = self._message(msg_id)
                 if m.decided_at is None:
                     m.decided_at = ts
+                    if closed_by is not None:
+                        m.closed_by = closed_by
         elif kind == "learner.learned":
             replica = event["replica"]
             for msg_id in event.get("msg_ids") or ():
@@ -243,6 +266,34 @@ class LifecycleIndex:
             t = self._subscription(event["request_id"])
             t.kind = "unsubscribe"
             t.committed_at.setdefault(event["replica"], ts)
+        elif kind == "merge.head_of_line":
+            waited = event.get("waited", 0.0)
+            if waited > 0.0:
+                self.hol_episodes.append(
+                    (event["replica"], ts, waited, event.get("stream", "?"))
+                )
+        elif kind == "transport.queue_wait":
+            msg_id = event.get("msg_id")
+            if msg_id is not None:
+                m = self._message(msg_id)
+                wait = event.get("wait", 0.0)
+                if wait > 0.0:
+                    m.queue_wait += wait
+                m.queue_wait_events += 1
+        elif kind == "net.context":
+            msg_id = event.get("msg_id")
+            if msg_id is not None:
+                m = self._message(msg_id)
+                m.context_arrivals.append(
+                    (ts, event.get("origin"), event.get("origin_ts"))
+                )
+        elif kind == "meta.clock":
+            node = event.get("node")
+            if node is not None:
+                self.clock_offsets[node] = event.get("offset", 0.0)
+        elif kind == "meta.merge":
+            for node, offset in (event.get("offsets") or {}).items():
+                self.clock_offsets[node] = offset
 
     # -- analysis --------------------------------------------------------
 

@@ -76,6 +76,7 @@ DEFAULT_CATEGORIES = frozenset(
         "invariant",
         "elastic",
         "meta",
+        "transport",
     }
 )
 _NOISY_CATEGORIES = frozenset({"net", "sim", "dispatch"})

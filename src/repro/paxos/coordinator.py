@@ -98,6 +98,13 @@ class CoordinatorActor(Actor):
         self._tracer = env.tracer
         self._metrics = env.metrics
         self._batch_scratch: list = []
+        # Parallel deque of enqueue timestamps for ``pending`` (propose
+        # appends, _take_batch pops -- the only two mutation sites), so
+        # the batch-wait segment of the latency budget is measurable.
+        # Only maintained when metrics are on: zero cost untraced.
+        self._pending_since: Optional[deque] = (
+            deque() if self._metrics is not None else None
+        )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -226,6 +233,8 @@ class CoordinatorActor(Actor):
             if request_id is not None:
                 fields["request_id"] = request_id
             tracer.emit("coord.propose", self.env._now, **fields)
+        if self._pending_since is not None:
+            self._pending_since.append(self.env._now)
         self.pending.append(token)
         self._pump_proposals()
 
@@ -359,6 +368,15 @@ class CoordinatorActor(Actor):
                 ) + 1.0 / limit
             tokens.append(pending.popleft())
             nbytes += size
+        since = self._pending_since
+        if since is not None and tokens:
+            first = since[0] if since else now
+            for _ in range(min(len(tokens), len(since))):
+                since.popleft()
+            if any(isinstance(t, AppValue) for t in tokens):
+                self._metrics.histogram(self.name, "batch_wait_ms").record(
+                    1000.0 * (now - first)
+                )
         return Batch(tokens=tuple(tokens))
 
     def _after_cpu(self, instance: int, batch: Batch) -> None:
@@ -412,15 +430,19 @@ class CoordinatorActor(Actor):
             decision = Decision(stream=self.stream, instance=msg.instance, batch=batch)
             targets = list(self.learners) + list(self.config.acceptors)
             self.send_all(targets, decision)
-            self._mark_decided(msg.instance, batch)
+            # msg.acceptor's 2b is the one that closed the quorum: the
+            # straggler the latency budget blames quorum_wait on.
+            self._mark_decided(msg.instance, batch, closed_by=msg.acceptor)
 
     def on_decision(self, msg: Decision, src: str) -> None:
         """Ring mode: the last acceptor's decision comes back to us."""
         info = self.outstanding.get(msg.instance)
         batch = info["batch"] if info else msg.batch
-        self._mark_decided(msg.instance, batch)
+        self._mark_decided(msg.instance, batch, closed_by=src)
 
-    def _mark_decided(self, instance: int, batch: Batch) -> None:
+    def _mark_decided(
+        self, instance: int, batch: Batch, closed_by: Optional[str] = None
+    ) -> None:
         if instance in self.decided_instances:
             return
         self.decided_instances.add(instance)
@@ -443,11 +465,15 @@ class CoordinatorActor(Actor):
                 )
         tracer = self._tracer
         if tracer is not None:
-            tracer.emit(
-                "coord.decide", self.env._now, coordinator=self.name,
-                stream=self.stream, instance=instance,
-                positions=batch.positions(),
-            )
+            fields = {
+                "coordinator": self.name,
+                "stream": self.stream,
+                "instance": instance,
+                "positions": batch.positions(),
+            }
+            if closed_by is not None:
+                fields["closed_by"] = closed_by
+            tracer.emit("coord.decide", self.env._now, **fields)
         self._pump_proposals()
 
     # -- skips ---------------------------------------------------------------

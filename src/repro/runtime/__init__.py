@@ -21,7 +21,9 @@ actors over real asyncio TCP sockets on localhost:
   endpoint assembly (:class:`NodeTelemetry`) for the live telemetry
   plane;
 * :mod:`repro.runtime.console` -- the ``python -m repro top``
-  dashboard over those endpoints.
+  dashboard over those endpoints;
+* :mod:`repro.runtime.profiling` -- the always-on stack sampler and
+  event-loop-lag probe (``repro live --profile-dir``, ``/profile``).
 
 Only the interface module is imported eagerly: the simulator kernel
 imports :mod:`repro.runtime.kernel` for the shared types, so this
@@ -47,6 +49,8 @@ __all__ = [
     "LiveConfig",
     "LiveNode",
     "LiveReport",
+    "LoopLagProbe",
+    "StackSampler",
     "TcpTransport",
     "Transport",
     "prometheus_text",
@@ -69,6 +73,8 @@ _LAZY = {
     "TelemetryServer": ("repro.runtime.telemetry", "TelemetryServer"),
     "prometheus_text": ("repro.runtime.telemetry", "prometheus_text"),
     "run_top": ("repro.runtime.console", "run_top"),
+    "StackSampler": ("repro.runtime.profiling", "StackSampler"),
+    "LoopLagProbe": ("repro.runtime.profiling", "LoopLagProbe"),
 }
 
 

@@ -50,6 +50,37 @@ def fetch_json(
         return None
 
 
+# Stage-level histograms of the latency-attribution plane
+# (docs/OBSERVABILITY.md): rendered as a per-stage breakdown panel when
+# any node reports them.
+_STAGE_METRICS = {
+    "batch_wait_ms": "batch wait",
+    "decide_latency_ms": "quorum wait",
+    "queue_wait_ms": "transport queue",
+    "merge_hol_wait_ms": "merge head-of-line",
+    "loop_lag_ms": "event-loop lag",
+}
+
+
+def _stage_rows(
+    metrics: dict[str, Optional[dict]],
+) -> list[tuple[str, str, str, int, float, float]]:
+    rows: list[tuple[str, str, str, int, float, float]] = []
+    for node in sorted(metrics):
+        dump = metrics[node]
+        if not dump:
+            continue
+        for entry in dump.get("histograms", ()):
+            label = _STAGE_METRICS.get(entry.get("name", ""))
+            if label is None or not entry.get("n") or entry.get("p50") is None:
+                continue
+            rows.append((
+                node, entry.get("actor", "-"), label,
+                entry["n"], entry["p50"], entry["p95"],
+            ))
+    return rows
+
+
 def _client_latency(metrics: dict[str, Optional[dict]]) -> Optional[dict]:
     for dump in metrics.values():
         if not dump:
@@ -151,6 +182,18 @@ def render(
             f"{counters.get('reconnect_attempts', 0):>12}"
             f"{counters.get('peak_send_queue', 0):>7}  {queues}"
         )
+
+    stage_rows = _stage_rows(metrics)
+    if stage_rows:
+        lines.append("")
+        lines.append(
+            f"{'NODE':<6}{'ACTOR':<14}{'STAGE':<20}{'N':>7}"
+            f"{'P50MS':>9}{'P95MS':>9}"
+        )
+        for node, actor, label, n, p50, p95 in stage_rows:
+            lines.append(
+                f"{node:<6}{actor:<14}{label:<20}{n:>7}{p50:>9.2f}{p95:>9.2f}"
+            )
 
     lines.append("")
     submitted = None

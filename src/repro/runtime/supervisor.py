@@ -60,6 +60,7 @@ from ..obs.recorder import FlightRecorder
 from ..obs.trace import Tracer, current_tracer
 from ..paxos.config import StreamConfig
 from .asyncio_kernel import AsyncioKernel
+from .profiling import LoopLagProbe, StackSampler
 from .telemetry import NodeTelemetry, aggregate_dumps, estimate_offset, http_get_json
 from .transport import TcpTransport
 
@@ -104,8 +105,15 @@ class LiveConfig:
     autoscale_interval: float = 0.25      # controller polling period (s)
     autoscale_sustain: int = 2            # consecutive breaches to fire
     autoscale_cooldown: float = 1.5       # seconds between reconfigs
+    # Always-on profiling (docs/OBSERVABILITY.md): with profile_dir set,
+    # every node runs a background stack sampler for the whole run and
+    # writes flamegraph-collapsed stacks to DIR/<node>.stacks.txt.
+    profile_dir: Optional[str] = None
+    profile_interval: float = 0.02        # sampler period (s)
 
     def __post_init__(self):
+        if self.profile_interval <= 0:
+            raise ValueError("profile_interval must be positive")
         if self.streams < 1:
             raise ValueError("need at least one stream")
         if self.replicas < 1:
@@ -153,6 +161,7 @@ class LiveReport:
     scrapes: int = 0
     autoscale: bool = False
     autoscale_events: list[str] = field(default_factory=list)
+    profile_files: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -197,11 +206,15 @@ class LiveNode:
         kernel: AsyncioKernel,
         transport: TcpTransport,
         telemetry: Optional[NodeTelemetry] = None,
+        profiler: Optional[StackSampler] = None,
     ):
         self.name = name
         self.kernel = kernel
         self.transport = transport
         self.telemetry = telemetry
+        # The node's stack sampler: the telemetry plane's when there is
+        # one (shared with the /profile routes), standalone otherwise.
+        self.profiler = profiler
         self.endpoint: Optional[tuple[str, int]] = None
 
     def __repr__(self) -> str:
@@ -215,6 +228,9 @@ class LiveCluster:
     def __init__(self, config: LiveConfig):
         self.config = config
         self.telemetry_enabled = config.telemetry_dir is not None
+        self.profile_enabled = config.profile_dir is not None
+        if self.profile_enabled:
+            os.makedirs(config.profile_dir, exist_ok=True)
         self.nodes: list[LiveNode] = []
         self.recorder: Optional[FlightRecorder] = None
         shared_tracer: Optional[Tracer] = None
@@ -235,23 +251,33 @@ class LiveCluster:
         for index in range(config.nodes):
             name = f"n{index + 1}"
             skew = index * config.clock_skew
+            profiler: Optional[StackSampler] = None
             if self.telemetry_enabled:
                 telemetry = NodeTelemetry(
                     name,
                     trace_path=os.path.join(
                         config.telemetry_dir, f"{name}.trace.jsonl"
                     ),
+                    profile_interval=config.profile_interval,
                 )
                 kernel = AsyncioKernel(
                     tracer=telemetry.tracer,
                     metrics=telemetry.registry,
                     clock_offset=skew,
                 )
+                profiler = telemetry.profiler
+                if self.profile_enabled:
+                    telemetry.profile_path = self._profile_path(name)
             else:
                 telemetry = None
                 kernel = AsyncioKernel(tracer=shared_tracer, clock_offset=skew)
+                if self.profile_enabled:
+                    profiler = StackSampler(interval=config.profile_interval)
             transport = TcpTransport(kernel, node=name)
-            self.nodes.append(LiveNode(name, kernel, transport, telemetry))
+            self.nodes.append(
+                LiveNode(name, kernel, transport, telemetry, profiler)
+            )
+        self._lag_probes: list[LoopLagProbe] = []
         self.kernel = self.nodes[0].kernel       # reference clock domain
         self._loop = self.kernel._loop
         self.node_of: dict[str, str] = {}        # actor/stream -> node name
@@ -331,13 +357,48 @@ class LiveCluster:
             self._write_endpoints_file()
             await self._sync_clocks()
             self._scrape_task = asyncio.ensure_future(self._scrape_loop())
+        if self.profile_enabled:
+            for node in self.nodes:
+                if node.profiler is not None:
+                    node.profiler.start()
+        # Event-loop-lag probes ride on whatever registry each kernel
+        # has (per-node with telemetry, the process-wide one otherwise);
+        # without any registry there is nowhere to export, so skip.
+        for node in self.nodes:
+            if node.kernel.metrics is not None:
+                probe = LoopLagProbe(
+                    node.kernel, node.kernel.metrics, actor=node.name
+                )
+                probe.start()
+                self._lag_probes.append(probe)
         for deployment in self.directory.values():
             deployment.start()
         for replica in self.replicas.values():
             replica.bootstrap(["s1"])
         self.client.start()
 
+    def _profile_path(self, node_name: str) -> str:
+        return os.path.join(self.config.profile_dir, f"{node_name}.stacks.txt")
+
+    def profile_paths(self) -> dict[str, str]:
+        """node -> collapsed-stacks file (empty unless profiling is on)."""
+        if not self.profile_enabled:
+            return {}
+        return {node.name: self._profile_path(node.name) for node in self.nodes}
+
     async def stop(self) -> None:
+        for probe in self._lag_probes:
+            probe.stop()
+        self._lag_probes = []
+        for node in self.nodes:
+            if node.profiler is not None and node.profiler.running:
+                node.profiler.stop()
+        if self.profile_enabled:
+            # Telemetry nodes write their stacks in NodeTelemetry.stop()
+            # (profile_path is set); bare nodes are written here.
+            for node in self.nodes:
+                if node.telemetry is None and node.profiler is not None:
+                    node.profiler.write_collapsed(self._profile_path(node.name))
         if self._scrape_task is not None:
             self._scrape_task.cancel()
             try:
@@ -817,6 +878,7 @@ async def _run(config: LiveConfig) -> LiveReport:
             scrapes=cluster.scrape_count,
             autoscale=config.autoscale,
             autoscale_events=list(autoscale_state["events"]),
+            profile_files=cluster.profile_paths(),
         )
         if config.metrics_out:
             dump = await cluster.collect_metrics_dump()

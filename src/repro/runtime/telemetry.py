@@ -18,6 +18,9 @@ Every node of a live deployment (``python -m repro live --nodes N
                             queue depths and counters
   ``GET /clock``            ``{"node": ..., "now": ...}`` -- the
                             handshake target for clock alignment
+  ``GET /profile``          flamegraph-collapsed stacks sampled so far
+  ``GET /profile/start``    start the node's background stack sampler
+  ``GET /profile/stop``     stop it (samples are kept for ``/profile``)
   ========================  ==========================================
 
 The supervisor scrapes these endpoints to aggregate a cluster-wide
@@ -41,6 +44,7 @@ from typing import Any, Awaitable, Callable, Optional
 
 from ..obs.recorder import FlightRecorder
 from ..obs.trace import DEFAULT_CATEGORIES, JsonlSink, Tracer
+from .profiling import StackSampler
 
 __all__ = [
     "NodeTelemetry",
@@ -288,6 +292,7 @@ class NodeTelemetry:
         categories: Optional[frozenset] = None,
         flight_capacity: int = 100_000,
         bind_host: str = "127.0.0.1",
+        profile_interval: float = 0.02,
     ):
         from ..obs.metrics import MetricsRegistry   # deferred: pulls in sim
 
@@ -310,6 +315,11 @@ class NodeTelemetry:
         self.server: Optional[TelemetryServer] = None
         self._bind_host = bind_host
         self._health: Callable[[], dict] = lambda: {"node": node}
+        # Continuous profiling: toggled via /profile/start|stop or run
+        # for the whole deployment by `repro live --profile-dir` (the
+        # supervisor sets profile_path; stop() writes the stacks there).
+        self.profiler = StackSampler(interval=profile_interval)
+        self.profile_path: Optional[str] = None
 
     def bind(self, kernel: Any, health: Callable[[], dict]) -> None:
         """Adopt the node's kernel clock and the health snapshot hook,
@@ -339,6 +349,28 @@ class NodeTelemetry:
         now = self.kernel._now if self.kernel is not None else 0.0
         return ("application/json", json.dumps({"node": self.node, "now": now}))
 
+    def _route_profile(self) -> tuple[str, str]:
+        return ("text/plain; charset=utf-8", self.profiler.collapsed())
+
+    def _profile_status(self) -> tuple[str, str]:
+        return (
+            "application/json",
+            json.dumps({
+                "node": self.node,
+                "running": self.profiler.running,
+                "samples": self.profiler.total,
+                "interval": self.profiler.interval,
+            }),
+        )
+
+    def _route_profile_start(self) -> tuple[str, str]:
+        self.profiler.start()
+        return self._profile_status()
+
+    def _route_profile_stop(self) -> tuple[str, str]:
+        self.profiler.stop()
+        return self._profile_status()
+
     async def start_server(self) -> tuple[str, int]:
         self.server = TelemetryServer(
             {
@@ -346,6 +378,9 @@ class NodeTelemetry:
                 "/metrics.json": self._route_metrics_json,
                 "/health": self._route_health,
                 "/clock": self._route_clock,
+                "/profile": self._route_profile,
+                "/profile/start": self._route_profile_start,
+                "/profile/stop": self._route_profile_stop,
             },
             bind_host=self._bind_host,
         )
@@ -355,6 +390,10 @@ class NodeTelemetry:
         if self.server is not None:
             await self.server.stop()
             self.server = None
+        if self.profiler.running:
+            self.profiler.stop()
+        if self.profile_path is not None:
+            self.profiler.write_collapsed(self.profile_path)
         self.tracer.close()
 
     def dump_flight(self, path: str, header: Optional[dict] = None) -> int:

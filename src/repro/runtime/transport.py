@@ -107,7 +107,8 @@ class _PeerLink:
         try:
             while True:
                 if pending is None:
-                    pending = await self.queue.get()
+                    enqueued_at, msg_id, pending = await self.queue.get()
+                    self.transport._note_dequeue(self.dst, msg_id, enqueued_at)
                 if writer is None:
                     _reader, writer = await self._connect()
                 try:
@@ -208,16 +209,43 @@ class TcpTransport:
             self._m_queue_depth = metrics.gauge(
                 actor, "transport_send_queue_depth"
             )
+            self._m_queue_wait = metrics.histogram(actor, "queue_wait_ms")
         else:
             self._m_reconnects = None
             self._m_drop_crash = None
             self._m_drop_backpressure = None
             self._m_queue_depth = None
+            self._m_queue_wait = None
+        # Queue-wait attribution (the queue-vs-wire split of the latency
+        # budget) needs the msg_id extracted even when context
+        # propagation is off; only bother when someone is listening.
+        self._track_queue_wait = (
+            tracer is not None or self._m_queue_wait is not None
+        )
 
     def _count_reconnect(self) -> None:
         self.reconnect_attempts += 1
         if self._m_reconnects is not None:
             self._m_reconnects.record()
+
+    def _note_dequeue(
+        self, dst: str, msg_id: Optional[int], enqueued_at: float
+    ) -> None:
+        """A frame left its per-peer send queue: record how long it sat
+        there (the queue half of the latency budget's queue-vs-wire
+        transport split).  Only msg_id-bearing payloads are traced so
+        the volume stays at value-message scale, like ``net.context``."""
+        if msg_id is None:
+            return
+        wait = self.env._now - enqueued_at
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "transport.queue_wait", self.env._now, dst=dst,
+                msg_id=msg_id, wait=wait,
+            )
+        if self._m_queue_wait is not None:
+            self._m_queue_wait.record(1000.0 * wait)
 
     # -- lifecycle ----------------------------------------------------
 
@@ -317,8 +345,8 @@ class TcpTransport:
                 "net.send", self.env.now, src=src, dst=dst,
                 type=type(payload).__name__, size=size,
             )
-        if self._propagate_context:
-            context: dict = {"origin": self.node or src, "ts": self.env._now}
+        msg_id = None
+        if self._track_queue_wait:
             # Correlate by message id when the payload carries one --
             # directly (AppValue) or as a Propose's ordering token.
             msg_id = getattr(payload, "msg_id", None)
@@ -326,6 +354,8 @@ class TcpTransport:
                 msg_id = getattr(
                     getattr(payload, "token", None), "msg_id", None
                 )
+        if self._propagate_context:
+            context: dict = {"origin": self.node or src, "ts": self.env._now}
             if msg_id is not None:
                 context["msg_id"] = msg_id
             body = self._encode(payload, trace_context=context)
@@ -346,7 +376,7 @@ class TcpTransport:
                 self, dst, self._send_queue_frames
             )
         try:
-            link.queue.put_nowait(frame)
+            link.queue.put_nowait((self.env._now, msg_id, frame))
         except asyncio.QueueFull:
             # Bounded fire-and-forget queue: drop under sustained
             # backpressure, like a full kernel buffer.  The protocol's

@@ -1,0 +1,24 @@
+"""Acceptance criterion for the latency-attribution plane (ISSUE 7):
+on a pinned-seed figure-3 run the budget must attribute >=95% of the
+mean end-to-end delivery latency to named segments, deterministically
+(same seed -> byte-identical budget report)."""
+
+from __future__ import annotations
+
+from repro.bench import bench_fig3_latency_budget
+from repro.obs.critpath import BUDGET_FORMAT, SEGMENT_NAMES
+
+
+def test_fig3_budget_attributes_95_percent_deterministically():
+    one = bench_fig3_latency_budget(quick=True)
+    two = bench_fig3_latency_budget(quick=True)
+    assert one == two                      # same seed -> same budget
+    assert one["format"] == BUDGET_FORMAT
+    assert one["messages"]["complete"] > 1000
+    assert one["coverage"] == 1.0
+    assert [seg["name"] for seg in one["segments"]] == list(SEGMENT_NAMES)
+    assert one["attributed_share"] >= 0.95
+    # The quick fig3 runs three streams through one merger, so both
+    # blame tables are populated.
+    assert one["stragglers"]
+    assert one["blockers"]

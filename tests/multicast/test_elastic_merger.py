@@ -318,3 +318,68 @@ def test_stats_track_subscriptions():
     s2.append(SkipToken(count=10))   # S2 keeps pace until the unsubscribe
     r.pump()
     assert r.merger.stats.unsubscriptions == 1
+
+
+class _FakeTracer:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, kind, ts, **fields):
+        self.events.append({"kind": kind, "ts": ts, **fields})
+
+
+class _FakeEnv:
+    """Just enough env for the merger's trace/metrics gates: a tracer,
+    no metrics, and a settable clock (``env.now`` mirrors ``now()``)."""
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+        self.metrics = None
+        self.now = 0.0
+
+
+def test_head_of_line_episode_traced_with_blocking_stream():
+    s1, s2 = TokenLog(), TokenLog()
+    logs = {"S1": s1, "S2": s2}
+    tracer = _FakeTracer()
+    env = _FakeEnv(tracer)
+    merger = ElasticMerger(
+        group="G",
+        deliver=lambda v, s, p: None,
+        stream_provider=lambda name: logs[name],
+        now=lambda: env.now,
+        owner="G/r1",
+        env=env,
+    )
+    merger.bootstrap(logs)
+    s1.append(value("a"))
+    s2.append(value("b"))
+    merger.pump()               # delivers a, b; turn back on S1: blocked
+    env.now = 1.0
+    merger.pump()               # still blocked on S1 -- no episode yet
+    hol = [e for e in tracer.events if e["kind"] == "merge.head_of_line"]
+    assert hol == []
+    env.now = 2.5
+    s1.append(value("c"))
+    merger.pump()               # unblocked: episode emitted
+    (episode,) = [
+        e for e in tracer.events if e["kind"] == "merge.head_of_line"
+    ]
+    assert episode["stream"] == "S1"
+    assert episode["replica"] == "G/r1"
+    assert episode["group"] == "G"
+    # Blocked since the first empty peek at t=0 (the pump that
+    # delivered a,b ended with the turn stuck on S1), freed at t=2.5.
+    assert episode["waited"] == pytest.approx(2.5)
+
+
+def test_no_head_of_line_tracking_without_env():
+    s1 = TokenLog()
+    merger = ElasticMerger(
+        group="G",
+        deliver=lambda v, s, p: None,
+        stream_provider=lambda name: s1,
+    )
+    merger.bootstrap({"S1": s1})
+    merger.pump()               # blocked immediately
+    assert merger._blocked_since is None   # gate off: nothing tracked

@@ -156,3 +156,30 @@ def test_from_jsonl_and_from_recorder_agree(tmp_path):
     assert from_file.coverage() == from_ring.coverage() == (1, 1)
     assert from_file.messages[1].stage_latencies() == \
         from_ring.messages[1].stage_latencies()
+
+
+def test_stage_latencies_clamp_skewed_boundaries():
+    # A merged multi-node trace can stamp a learn *before* its decide;
+    # the per-stage view clamps at zero rather than going negative.
+    events = _seq([
+        (0.0, "client.submit",
+         dict(client="c", stream="S1", msg_id=8, size=8)),
+        (0.1, "coord.phase2",
+         dict(coordinator="S1/coord", stream="S1", instance=1,
+              msg_ids=[8], positions=[0])),
+        (0.25, "learner.learned",
+         dict(replica="G1/r1", stream="S1", instance=1, msg_ids=[8],
+              positions=[0])),
+        (0.3, "coord.decide",
+         dict(coordinator="S1/coord", stream="S1", instance=1,
+              positions=[0])),
+        (0.4, "replica.deliver",
+         dict(replica="G1/r1", group="G1", stream="S1", position=0,
+              msg_id=8)),
+    ])
+    index = LifecycleIndex().consume_all(events)
+    stages = index.messages[8].stage_latencies()
+    assert stages["decide->learn"] == 0.0
+    assert all(v >= 0.0 for v in stages.values() if v is not None)
+    samples = index.stage_samples()
+    assert all(v >= 0.0 for vs in samples.values() for v in vs)

@@ -184,3 +184,42 @@ def test_console_render_is_pure():
     # Previousless frames render without rates rather than crashing.
     first = render(health, metrics, None, interval=1.0)
     assert "-" in first
+
+
+def test_console_stage_breakdown_panel():
+    from repro.runtime.console import render
+
+    health = {"n1": {"node": "n1", "streams": {}, "replicas": {},
+                     "transport": {}, "client": {"submitted": 1}}}
+    base_metrics = {
+        "n1": {"histograms": [
+            {"actor": "client", "name": "latency_ms", "n": 10,
+             "mean": 2.0, "p50": 1.5, "p95": 3.0, "p99": 4.5},
+        ]},
+    }
+    # Without stage histograms the panel is absent entirely.
+    frame = render(health, base_metrics, None, interval=1.0)
+    assert "STAGE" not in frame
+
+    stage_metrics = {
+        "n1": {"histograms": base_metrics["n1"]["histograms"] + [
+            {"actor": "s1/coord", "name": "batch_wait_ms", "n": 40,
+             "mean": 1.0, "p50": 0.8, "p95": 2.0, "p99": 2.5},
+            {"actor": "n1", "name": "queue_wait_ms", "n": 7,
+             "mean": 0.1, "p50": 0.05, "p95": 0.2, "p99": 0.3},
+            {"actor": "n1", "name": "loop_lag_ms", "n": 30,
+             "mean": 0.4, "p50": 0.3, "p95": 0.9, "p99": 1.2},
+            # Sampleless or unknown histograms never make a row.
+            {"actor": "r1", "name": "merge_hol_wait_ms", "n": 0,
+             "mean": None, "p50": None, "p95": None, "p99": None},
+            {"actor": "r1", "name": "unrelated_ms", "n": 5,
+             "mean": 1.0, "p50": 1.0, "p95": 1.0, "p99": 1.0},
+        ]},
+    }
+    frame = render(health, stage_metrics, None, interval=1.0)
+    assert "STAGE" in frame
+    assert "batch wait" in frame
+    assert "transport queue" in frame
+    assert "event-loop lag" in frame
+    assert "merge head-of-line" not in frame   # n=0 filtered
+    assert "unrelated" not in frame

@@ -190,3 +190,76 @@ def test_reconnect_attempts_are_counted():
         await transport.stop()
 
     run(main())
+
+
+def test_queue_wait_traced_and_measured_for_msg_id_payloads():
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.paxos.messages import Propose
+    from repro.paxos.types import AppValue
+
+    class _ListSink:
+        def __init__(self):
+            self.events = []
+
+        def record(self, event):
+            self.events.append(event)
+
+        def close(self):
+            pass
+
+    class Receiver(Actor):
+        def __init__(self, env, network, name):
+            super().__init__(env, network, name)
+            self.tokens = []
+
+        def on_propose(self, msg, src):
+            self.tokens.append(msg.token)
+
+    async def main():
+        sink = _ListSink()
+        tracer = Tracer(sinks=[sink], categories=frozenset({"transport"}))
+        registry = MetricsRegistry()
+        kernel = AsyncioKernel(tracer=tracer, metrics=registry)
+        transport = TcpTransport(kernel, node="n1")
+        receiver = Receiver(kernel, transport, "b")
+        await transport.start()
+        receiver.start()
+        token = AppValue(payload="x", size=16, msg_id=7)
+        transport.send("a", "b", Propose(stream="S1", token=token), 64)
+        # Heartbeats carry no msg_id: dequeued silently, never traced.
+        transport.send("a", "b", Heartbeat(nonce=1), 56)
+        assert await eventually(lambda: len(receiver.tokens) == 1)
+        waits = [
+            e for e in sink.events if e["kind"] == "transport.queue_wait"
+        ]
+        assert len(waits) == 1
+        assert waits[0]["msg_id"] == 7
+        assert waits[0]["dst"] == "b"
+        assert waits[0]["wait"] >= 0.0
+        dump = registry.dump()
+        (hist,) = [
+            h for h in dump["histograms"] if h["name"] == "queue_wait_ms"
+        ]
+        assert hist["actor"] == "n1"
+        assert hist["n"] == 1
+        await transport.stop()
+
+    run(main())
+
+
+def test_no_queue_wait_tracking_untraced():
+    async def main():
+        kernel = AsyncioKernel()            # no tracer, no metrics
+        transport = TcpTransport(kernel)
+        assert transport._track_queue_wait is False
+        ponger = Ponger(kernel, transport, "b")
+        pinger = Pinger(kernel, transport, "a")
+        await transport.start()
+        ponger.start()
+        pinger.start()
+        pinger.send("b", Heartbeat(nonce=1))
+        assert await eventually(lambda: len(pinger.acks) == 1)
+        await transport.stop()
+
+    run(main())
