@@ -5,8 +5,20 @@ calendar, the network hop, the dynamic merge -- plus the figure-3
 experiment end to end, and emits a machine-readable JSON report that
 the CI perf-smoke job compares against a committed baseline
 (``BENCH_baseline.json``).  See ``docs/PERFORMANCE.md``.
+
+``python -m repro bench --live`` runs the live-backend suite instead
+(:mod:`repro.bench.live`): codec and transport microbenchmarks plus a
+localhost cluster at fixed offered load, gated in CI by the
+live-perf-smoke job against ``BENCH_PR8.json``.
 """
 
+from .live import (
+    LIVE_BENCH_SCHEMA_VERSION,
+    PRE_PR_LIVE,
+    compare_live_to_baseline,
+    live_summary_lines,
+    run_live_bench,
+)
 from .suite import (
     BENCH_SCHEMA_VERSION,
     PRE_PR_FIG3_WALL_S,
@@ -19,10 +31,15 @@ from .suite import (
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "LIVE_BENCH_SCHEMA_VERSION",
     "PRE_PR_FIG3_WALL_S",
+    "PRE_PR_LIVE",
     "bench_fig3_latency_budget",
+    "compare_live_to_baseline",
     "compare_to_baseline",
+    "live_summary_lines",
     "profiler_overhead",
     "run_bench",
+    "run_live_bench",
     "summary_lines",
 ]

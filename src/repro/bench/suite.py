@@ -360,18 +360,25 @@ _BASELINE_METRICS: dict[str, tuple[str, str]] = {
 
 
 def compare_to_baseline(
-    report: dict, baseline: dict, threshold: float
+    report: dict, baseline: dict, threshold: float,
+    metrics: Optional[dict[str, tuple[str, str]]] = None,
 ) -> tuple[list[str], list[str]]:
     """Compare a report to a baseline report.
 
     Returns ``(lines, regressions)``: human-readable comparison lines
     for every shared benchmark, and the subset flagged as regressed
     beyond ``threshold`` (a fraction, e.g. ``0.25`` = 25%).
+
+    ``metrics`` maps benchmark name to ``(direction, key)`` and
+    defaults to the sim suite's set; the live suite passes its own
+    (``repro.bench.live.LIVE_BASELINE_METRICS``).
     """
     lines: list[str] = []
     regressions: list[str] = []
     base_benchmarks = baseline.get("benchmarks", {})
-    for name, (direction, key) in _BASELINE_METRICS.items():
+    if metrics is None:
+        metrics = _BASELINE_METRICS
+    for name, (direction, key) in metrics.items():
         current = report["benchmarks"].get(name, {}).get(key)
         base = base_benchmarks.get(name, {}).get(key)
         if current is None or base is None or base == 0:

@@ -384,6 +384,9 @@ def _bench(args) -> int:
 
     from .bench import compare_to_baseline, run_bench, summary_lines
 
+    if args.live:
+        return _bench_live(args)
+
     if args.profile_overhead:
         from .bench import profiler_overhead
 
@@ -460,6 +463,66 @@ def _bench(args) -> int:
     return status
 
 
+def _bench_live(args) -> int:
+    """`bench --live`: the live-backend suite (docs/PERFORMANCE.md,
+    "Live datapath performance").  Same report/baseline/threshold
+    contract as the sim suite, gated in CI by live-perf-smoke against
+    the committed BENCH_PR8.json."""
+    import json
+
+    from .bench.live import (
+        compare_live_to_baseline,
+        live_summary_lines,
+        run_live_bench,
+    )
+
+    event_loop = "asyncio"
+    if args.uvloop:
+        from .bench.live import install_uvloop
+
+        event_loop = "uvloop" if install_uvloop() else (
+            "asyncio (uvloop unavailable)"
+        )
+    report = run_live_bench(quick=args.quick)
+    report["event_loop"] = event_loop
+    print(section(
+        "Live-backend benchmarks"
+        + (" (quick)" if args.quick else "")
+        + (f" [{event_loop}]" if args.uvloop else "")
+    ))
+    for line in live_summary_lines(report):
+        print(line)
+
+    status = 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        lines, regressions = compare_live_to_baseline(
+            report, baseline, args.threshold
+        )
+        print()
+        print(f"baseline comparison ({args.baseline}, "
+              f"threshold {args.threshold:.0%}):")
+        for line in lines:
+            print(line)
+        if regressions:
+            print(f"PERF REGRESSION in: {', '.join(regressions)}")
+            status = 1
+        else:
+            print("no perf regressions")
+    if not report["benchmarks"]["live_cluster"]["agreed"]:
+        print("REPLICA DISAGREEMENT in live_cluster bench",
+              file=sys.stderr)
+        status = 1
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nreport -> {args.out}")
+    return status
+
+
 def _live(args) -> int:
     from .obs import MetricsRegistry
     from .obs.trace import installed
@@ -478,6 +541,11 @@ def _live(args) -> int:
         rate_ramp=args.rate_ramp,
         autoscale_ceiling=args.autoscale_ceiling,
         profile_dir=args.profile_dir,
+        dissemination=args.dissemination,
+        adaptive_batching=not args.no_adaptive_batch,
+        lam=args.lam,
+        burst=args.burst,
+        uvloop=args.uvloop,
     )
     print(section(
         f"live: {config.streams} streams x {config.replicas} replicas "
@@ -491,6 +559,10 @@ def _live(args) -> int:
         with installed(metrics=MetricsRegistry()):
             report = run_live(config)
     print(report.summary())
+    print(f"datapath: {report.dissemination} dissemination | "
+          f"adaptive batching "
+          f"{'on' if config.adaptive_batching else 'off'} | "
+          f"event loop {report.event_loop}")
     for event in report.autoscale_events:
         print(f"  autoscale: {event}")
     rows = [
@@ -665,6 +737,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--overhead-threshold", type=float, default=0.05,
                        help="allowed profiler overhead as a fraction "
                             "(default 0.05)")
+    bench.add_argument("--live", action="store_true",
+                       help="run the live-backend suite instead: codec/"
+                            "transport microbenchmarks + a localhost "
+                            "cluster at fixed offered load (gated in CI "
+                            "against BENCH_PR8.json)")
+    bench.add_argument("--uvloop", action="store_true",
+                       help="with --live: run the suite on uvloop when "
+                            "installed (soft dependency; falls back to "
+                            "asyncio)")
 
     live = sub.add_parser(
         "live",
@@ -705,6 +786,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run the per-node stack sampler and write "
                            "flamegraph-compatible collapsed stacks to "
                            "DIR/<node>.stacks.txt")
+    live.add_argument("--dissemination", choices=("ring", "classic"),
+                      default="ring",
+                      help="phase-2 dissemination over TCP: ring "
+                           "(coordinator->acceptor ring, default) or "
+                           "classic (fan-out/fan-in)")
+    live.add_argument("--no-adaptive-batch", action="store_true",
+                      help="disable load-adaptive coordinator batching "
+                           "and keep the fixed sim-default trigger")
+    live.add_argument("--lam", type=int, default=None,
+                      help="per-stream λ (positions/s) for skip pacing; "
+                           "default scales with the offered rate")
+    live.add_argument("--burst", type=int, default=1,
+                      help="client submissions per workload tick "
+                           "(amortises sleep granularity at high rates)")
+    live.add_argument("--uvloop", action="store_true",
+                      help="drive the cluster with uvloop when installed "
+                           "(soft dependency; falls back to asyncio)")
 
     merge = sub.add_parser(
         "trace-merge",

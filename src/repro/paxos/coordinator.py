@@ -25,6 +25,7 @@ from ..net.actor import Actor
 from ..runtime.kernel import Interrupt, Kernel, Transport
 from ..runtime.resources import Server
 from .ballot import ballot_for, next_ballot, quorum_size
+from .batching import AdaptiveBatchPolicy
 from .config import StreamConfig
 from .messages import (
     Decision,
@@ -105,6 +106,18 @@ class CoordinatorActor(Actor):
         self._pending_since: Optional[deque] = (
             deque() if self._metrics is not None else None
         )
+        # Load-adaptive batching (repro.paxos.batching): None under the
+        # default fixed trigger, so the sim's pinned digests see zero
+        # behaviour change.  ``_pending_oldest_at`` approximates the
+        # arrival time of the oldest pending token (reset whenever the
+        # queue refills from empty) and bounds how long a linger may
+        # hold a partial batch open.
+        self._batch_policy = (
+            AdaptiveBatchPolicy.from_config(config)
+            if config.adaptive_batching else None
+        )
+        self._pending_oldest_at = 0.0
+        self._linger_wakeup_at: Optional[float] = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -235,6 +248,8 @@ class CoordinatorActor(Actor):
             tracer.emit("coord.propose", self.env._now, **fields)
         if self._pending_since is not None:
             self._pending_since.append(self.env._now)
+        if not self.pending:
+            self._pending_oldest_at = self.env._now
         self.pending.append(token)
         self._pump_proposals()
 
@@ -267,9 +282,37 @@ class CoordinatorActor(Actor):
                 and self.pending
                 and len(self.outstanding) < self.config.window
             ):
-                if not self._admit_by_throttle():
+                max_tokens = None
+                policy = self._batch_policy
+                if policy is not None:
+                    now = self.env._now
+                    depth = len(self.pending)
+                    policy.observe(depth, now)
+                    max_tokens = policy.target_tokens()
+                # Burst credit must track the adaptive target: capping
+                # credit at the static batch floor would clamp every
+                # batch to ``batch_max_tokens`` values and pace the
+                # datapath on sub-millisecond throttle wakeups that a
+                # real event loop delivers late.
+                if not self._admit_by_throttle(max_tokens):
                     break
-                batch = self._take_batch()
+                if policy is not None:
+                    depth = len(self.pending)
+                    if (
+                        depth < max_tokens
+                        and isinstance(self.pending[0], AppValue)
+                    ):
+                        # Partial batch: hold it open briefly so
+                        # in-flight arrivals can join, bounded by the
+                        # oldest pending token's linger deadline.
+                        # Control/skip tokens never linger -- their
+                        # pacing is the protocol's, not the policy's.
+                        linger = policy.linger_s()
+                        deadline = self._pending_oldest_at + linger
+                        if linger > 0.0 and now < deadline:
+                            self._schedule_linger(deadline, now)
+                            break
+                batch = self._take_batch(max_tokens)
                 instance = self.next_instance
                 self.next_instance += 1
                 if self.cpu is not None:
@@ -311,7 +354,7 @@ class CoordinatorActor(Actor):
                 return lam
         return limit
 
-    def _admit_by_throttle(self) -> bool:
+    def _admit_by_throttle(self, burst_tokens: Optional[int] = None) -> bool:
         """Token-bucket throttle on application values (λ and the 30%
         cap of the vertical-scalability experiment).  Control/skip
         tokens are never throttled.
@@ -319,13 +362,17 @@ class CoordinatorActor(Actor):
         The bucket holds up to one batch of burst credit so that
         batching still works under a throttle; admission of individual
         values advances the gate inside :meth:`_take_batch`.
+        ``burst_tokens`` widens the credit cap to the adaptive batch
+        target when adaptive batching is active.
         """
         limit = self.effective_value_limit
         if limit is None or not isinstance(self.pending[0], AppValue):
             return True
         now = self.env._now
         # Idle time accrues credit, capped at one full batch.
-        burst = self.config.batch_max_tokens / limit
+        if burst_tokens is None:
+            burst_tokens = self.config.batch_max_tokens
+        burst = burst_tokens / limit
         if self._value_gate_open < now - burst:
             self._value_gate_open = now - burst
         if self._value_gate_open > now:
@@ -344,7 +391,18 @@ class CoordinatorActor(Actor):
         self._throttle_wakeup = None
         self._pump_proposals()
 
-    def _take_batch(self) -> Batch:
+    def _schedule_linger(self, deadline: float, now: float) -> None:
+        """Keep at most one linger wakeup scheduled (pump is re-entered
+        from every propose/decide too, mirroring the throttle wakeup)."""
+        if self._linger_wakeup_at is None or self._linger_wakeup_at > deadline:
+            self._linger_wakeup_at = deadline
+            self.env.call_later(deadline - now, self._linger_fired)
+
+    def _linger_fired(self) -> None:
+        self._linger_wakeup_at = None
+        self._pump_proposals()
+
+    def _take_batch(self, max_tokens: Optional[int] = None) -> Batch:
         # Reused scratch list: ``Batch`` copies into a tuple anyway.
         tokens = self._batch_scratch
         tokens.clear()
@@ -353,7 +411,8 @@ class CoordinatorActor(Actor):
         now = self.env._now
         pending = self.pending
         config = self.config
-        max_tokens = config.batch_max_tokens
+        if max_tokens is None:
+            max_tokens = config.batch_max_tokens
         max_bytes = config.batch_max_bytes
         while pending and len(tokens) < max_tokens:
             token = pending[0]

@@ -38,6 +38,24 @@ the compact encoding comes out *smaller* than the modeled size, the
 frame is zero-padded up to ``wire_size()`` so live byte counts match
 the model the figures were reproduced with; when it is larger (huge
 batches), the frame is just its natural length.
+
+Zero-copy contract (docs/PERFORMANCE.md, "Live datapath performance"):
+
+* :func:`encode_into` appends a frame to a caller-owned ``bytearray``
+  scratch instead of allocating per message; the transport keeps one
+  scratch per link and snapshots the written region to immutable
+  ``bytes`` before handing it to asyncio (an event loop -- uvloop in
+  particular -- may hold a reference to a written buffer until the
+  write completes, so mutable scratch must never be queued directly).
+* :func:`decode` / :func:`decode_with_context` accept any bytes-like
+  object including ``memoryview``, so the transport can decode straight
+  out of its receive buffer without copying the body first.  Decoded
+  messages never alias the input buffer: ``str``/``bytes`` leaves are
+  materialised as owned objects, so the caller may recycle the buffer
+  as soon as decode returns.
+* Malformed input -- truncation at any byte offset, corrupt tags,
+  unknown ids, garbage field values -- raises :class:`CodecError`,
+  never a bare ``struct.error`` / ``IndexError`` / ``UnicodeDecodeError``.
 """
 
 from __future__ import annotations
@@ -54,6 +72,7 @@ __all__ = [
     "decode",
     "decode_with_context",
     "encode",
+    "encode_into",
     "register",
     "registered_classes",
 ]
@@ -222,6 +241,50 @@ def _encode_value(value: Any, out: bytearray) -> None:
         _encode_value(getattr(value, name), out)
 
 
+_HEADER_PLACEHOLDER = bytes(_HEADER.size)
+_U32_PLACEHOLDER = bytes(_U32.size)
+
+
+def encode_into(
+    message: Any, out: bytearray, trace_context: Optional[dict] = None
+) -> int:
+    """Append one encoded frame to ``out``; returns the frame's length.
+
+    The zero-copy encode path: the caller owns ``out`` (typically a
+    reused per-link scratch) and no intermediate body/frame bytearrays
+    are allocated.  The header is written as a placeholder and patched
+    once the body length is known, so the byte stream is identical to
+    :func:`encode`'s.
+    """
+    spec = _BY_CLASS.get(message.__class__)
+    if spec is None:
+        raise CodecError(
+            f"cannot encode unregistered type {message.__class__.__name__}"
+        )
+    start = len(out)
+    out += _HEADER_PLACEHOLDER
+    for name in spec.fields:
+        _encode_value(getattr(message, name), out)
+    body_len = len(out) - start - _HEADER.size
+    if trace_context is None:
+        _HEADER.pack_into(out, start, WIRE_VERSION, spec.type_id, body_len)
+    else:
+        _HEADER.pack_into(
+            out, start, CONTEXT_WIRE_VERSION, spec.type_id, body_len
+        )
+        ctx_start = len(out)
+        out += _U32_PLACEHOLDER
+        _encode_value(dict(trace_context), out)
+        _U32.pack_into(out, ctx_start, len(out) - ctx_start - _U32.size)
+    modeled = getattr(message, "wire_size", None)
+    if modeled is not None:
+        target = modeled()
+        written = len(out) - start
+        if written < target:
+            out += bytes(target - written)
+    return len(out) - start
+
+
 def encode(message: Any, trace_context: Optional[dict] = None) -> bytes:
     """Encode a registered message into one padded, versioned frame.
 
@@ -232,37 +295,17 @@ def encode(message: Any, trace_context: Optional[dict] = None) -> bytes:
     version-1 codec.  The padding up to the modeled ``wire_size`` is
     applied after the context, so bandwidth accounting is unchanged.
     """
-    spec = _BY_CLASS.get(message.__class__)
-    if spec is None:
-        raise CodecError(
-            f"cannot encode unregistered type {message.__class__.__name__}"
-        )
-    body = bytearray()
-    for name in spec.fields:
-        _encode_value(getattr(message, name), body)
-    if trace_context is None:
-        frame = bytearray(_HEADER.pack(WIRE_VERSION, spec.type_id, len(body)))
-        frame += body
-    else:
-        frame = bytearray(
-            _HEADER.pack(CONTEXT_WIRE_VERSION, spec.type_id, len(body))
-        )
-        frame += body
-        context = bytearray()
-        _encode_value(dict(trace_context), context)
-        frame += _U32.pack(len(context))
-        frame += context
-    modeled = getattr(message, "wire_size", None)
-    if modeled is not None:
-        target = modeled()
-        if len(frame) < target:
-            frame += bytes(target - len(frame))
-    return bytes(frame)
+    out = bytearray()
+    encode_into(message, out, trace_context)
+    return bytes(out)
 
 
 # -- decoding ---------------------------------------------------------
 
-def _decode_value(buf: bytes, pos: int) -> tuple[Any, int]:
+_Buffer = Any  # bytes | bytearray | memoryview
+
+
+def _decode_value(buf: _Buffer, pos: int) -> tuple[Any, int]:
     tag = buf[pos]
     pos += 1
     if tag == _T_NONE:
@@ -278,7 +321,8 @@ def _decode_value(buf: bytes, pos: int) -> tuple[Any, int]:
     if tag == _T_STR:
         (n,) = _U32.unpack_from(buf, pos)
         pos += 4
-        return buf[pos:pos + n].decode("utf-8"), pos + n
+        # str(bytes-like, encoding) also accepts memoryview slices.
+        return str(buf[pos:pos + n], "utf-8"), pos + n
     if tag == _T_BYTES:
         (n,) = _U32.unpack_from(buf, pos)
         pos += 4
@@ -321,14 +365,33 @@ def _decode_value(buf: bytes, pos: int) -> tuple[Any, int]:
     raise CodecError(f"unknown value tag {tag}")
 
 
-def decode_with_context(frame: bytes) -> tuple[Any, Optional[dict]]:
+def decode_with_context(frame: _Buffer) -> tuple[Any, Optional[dict]]:
     """Decode one frame; returns ``(message, trace_context_or_None)``.
 
     Accepts every version in :data:`SUPPORTED_WIRE_VERSIONS`: version-1
     frames (no context section) decode with a ``None`` context, so a
     context-aware node interoperates with peers speaking the old
     format.
+
+    ``frame`` may be any bytes-like object -- the live transport passes
+    a ``memoryview`` into its receive buffer, so the body is parsed in
+    place with no copy.  Any malformed input raises :class:`CodecError`.
     """
+    try:
+        return _decode_frame(frame)
+    except CodecError:
+        raise
+    except (struct.error, IndexError, ValueError, TypeError,
+            OverflowError) as exc:
+        # struct.error / IndexError: truncation mid-field; ValueError
+        # covers UnicodeDecodeError from corrupt string bytes and a
+        # registered class's own constructor validation rejecting
+        # garbage field values.  All of it is one condition to the
+        # caller: a frame that cannot be trusted.
+        raise CodecError(f"corrupt frame: {exc!r}") from exc
+
+
+def _decode_frame(frame: _Buffer) -> tuple[Any, Optional[dict]]:
     if len(frame) < _HEADER.size:
         raise CodecError(f"frame too short ({len(frame)} bytes)")
     version, type_id, body_len = _HEADER.unpack_from(frame, 0)
@@ -374,7 +437,7 @@ def decode_with_context(frame: bytes) -> tuple[Any, Optional[dict]]:
     return spec.construct(**kwargs), context
 
 
-def decode(frame: bytes) -> Any:
+def decode(frame: _Buffer) -> Any:
     """Decode one frame produced by :func:`encode` (context discarded)."""
     return decode_with_context(frame)[0]
 

@@ -91,6 +91,14 @@ def _client_latency(metrics: dict[str, Optional[dict]]) -> Optional[dict]:
     return None
 
 
+def _format_byte_rate(value: float) -> str:
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.1f}M"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.1f}K"
+    return f"{value:.0f}"
+
+
 def render(
     health: dict[str, Optional[dict]],
     metrics: dict[str, Optional[dict]],
@@ -181,6 +189,37 @@ def render(
             f"{counters.get('messages_dropped', 0):>9}"
             f"{counters.get('reconnect_attempts', 0):>12}"
             f"{counters.get('peak_send_queue', 0):>7}  {queues}"
+        )
+
+    # Writer-coalescing panel: how well the transport is amortising
+    # syscalls (frames per flush) and the resulting wire throughput.
+    lines.append("")
+    lines.append(
+        f"{'NODE':<6}{'FLUSHES':>9}{'COALESCED':>11}{'FR/FLUSH':>10}"
+        f"{'BYTES/S':>10}"
+    )
+    for node in sorted(health):
+        snapshot = health[node]
+        if snapshot is None:
+            continue
+        counters = snapshot.get("transport", {}).get("counters", {})
+        flushes = counters.get("writer_flushes", 0)
+        coalesced = counters.get("frames_coalesced", 0)
+        per_flush = f"{coalesced / flushes:.1f}" if flushes else "-"
+        prior = (
+            (previous.get(node) or {}).get("transport", {}).get("counters", {})
+        )
+        if prior and interval > 0:
+            delta = max(
+                0,
+                counters.get("bytes_written", 0)
+                - prior.get("bytes_written", 0),
+            )
+            rate = _format_byte_rate(delta / interval)
+        else:
+            rate = "-"
+        lines.append(
+            f"{node:<6}{flushes:>9}{coalesced:>11}{per_flush:>10}{rate:>10}"
         )
 
     stage_rows = _stage_rows(metrics)

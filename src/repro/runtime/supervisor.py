@@ -59,6 +59,7 @@ from ..multicast.stream import StreamDeployment
 from ..obs.recorder import FlightRecorder
 from ..obs.trace import Tracer, current_tracer
 from ..paxos.config import StreamConfig
+from ..paxos.skip import DEFAULT_LAMBDA
 from .asyncio_kernel import AsyncioKernel
 from .profiling import LoopLagProbe, StackSampler
 from .telemetry import NodeTelemetry, aggregate_dumps, estimate_offset, http_get_json
@@ -110,6 +111,22 @@ class LiveConfig:
     # writes flamegraph-collapsed stacks to DIR/<node>.stacks.txt.
     profile_dir: Optional[str] = None
     profile_interval: float = 0.02        # sampler period (s)
+    # Live datapath (docs/PERFORMANCE.md, "Live datapath performance").
+    dissemination: str = "ring"     # phase-2 path: "ring" | "classic"
+    adaptive_batching: bool = True  # load-adaptive coordinator batching
+    lam: Optional[int] = None       # per-stream λ; None = scale to rate
+    burst: int = 1                  # client submissions per workload tick
+    uvloop: bool = False            # prefer uvloop's event loop if present
+
+    def effective_lam(self) -> int:
+        """λ for each stream's skip pacing.  The sim default (4000
+        positions/s) silently caps live admission when the offered rate
+        approaches it, so unless pinned explicitly λ scales to twice
+        the peak offered rate."""
+        if self.lam is not None:
+            return self.lam
+        peak = max(self.rate, self.rate_ramp or 0.0)
+        return max(DEFAULT_LAMBDA, int(2 * peak))
 
     def __post_init__(self):
         if self.profile_interval <= 0:
@@ -132,6 +149,15 @@ class LiveConfig:
             raise ValueError("autoscale_ceiling must be positive")
         if self.autoscale_interval <= 0:
             raise ValueError("autoscale_interval must be positive")
+        if self.dissemination not in ("ring", "classic"):
+            raise ValueError(
+                f"dissemination must be 'ring' or 'classic', "
+                f"got {self.dissemination!r}"
+            )
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.lam is not None and self.lam < 1:
+            raise ValueError("lam must be >= 1")
 
 
 @dataclass
@@ -162,6 +188,8 @@ class LiveReport:
     autoscale: bool = False
     autoscale_events: list[str] = field(default_factory=list)
     profile_files: dict[str, str] = field(default_factory=dict)
+    dissemination: str = "ring"
+    event_loop: str = "asyncio"     # actual loop class driving the run
 
     @property
     def ok(self) -> bool:
@@ -295,6 +323,9 @@ class LiveCluster:
                     f"{name}/acceptor-{j + 1}"
                     for j in range(config.acceptors_per_stream)
                 ),
+                ring_mode=(config.dissemination == "ring"),
+                adaptive_batching=config.adaptive_batching,
+                lam=config.effective_lam(),
             )
             self.directory[name] = StreamDeployment(
                 node.kernel, node.transport, stream_config
@@ -762,7 +793,12 @@ async def _run(config: LiveConfig) -> LiveReport:
         subscribes_requested = config.streams - 1
         subscribes_completed = 0
         active_streams = ["s1"]
-        interval = 1.0 / config.rate if config.rate > 0 else config.duration
+        # Submissions go out ``burst`` at a time: above a few thousand
+        # values/s one sleep per message can't keep up (timer
+        # granularity), so the sleep cost is amortised over the burst.
+        interval = (
+            config.burst / config.rate if config.rate > 0 else config.duration
+        )
         subscribe_at = loop.time() + config.subscribe_after * config.duration
         workload_end = loop.time() + config.duration
         sequence = 0
@@ -781,10 +817,11 @@ async def _run(config: LiveConfig) -> LiveReport:
                 )
             )
         while loop.time() < workload_end:
-            cluster.multicast(
-                active_streams[sequence % len(active_streams)], sequence
-            )
-            sequence += 1
+            for _ in range(config.burst):
+                cluster.multicast(
+                    active_streams[sequence % len(active_streams)], sequence
+                )
+                sequence += 1
             if not subscribed and loop.time() >= subscribe_at:
                 # Subscribe to every further stream while the workload
                 # keeps flowing on s1 (the paper's online reconfig).
@@ -802,7 +839,9 @@ async def _run(config: LiveConfig) -> LiveReport:
                     1.0 - (workload_end - loop.time()) / config.duration,
                 ))
                 rate = config.rate + frac * (config.rate_ramp - config.rate)
-                interval = 1.0 / rate if rate > 0 else config.duration
+                interval = (
+                    config.burst / rate if rate > 0 else config.duration
+                )
             await asyncio.sleep(interval)
         if autoscaler is not None:
             autoscaler.cancel()
@@ -879,6 +918,10 @@ async def _run(config: LiveConfig) -> LiveReport:
             autoscale=config.autoscale,
             autoscale_events=list(autoscale_state["events"]),
             profile_files=cluster.profile_paths(),
+            dissemination=config.dissemination,
+            event_loop=(
+                f"{type(loop).__module__}.{type(loop).__name__}"
+            ),
         )
         if config.metrics_out:
             dump = await cluster.collect_metrics_dump()
@@ -892,5 +935,23 @@ async def _run(config: LiveConfig) -> LiveReport:
 
 
 def run_live(config: LiveConfig) -> LiveReport:
-    """Boot, drive and tear down a live cluster; returns the report."""
+    """Boot, drive and tear down a live cluster; returns the report.
+
+    With ``config.uvloop`` the cluster runs on uvloop's event loop when
+    the package is importable; uvloop is a *soft* dependency, so when
+    it is absent the run falls back to the stdlib loop (the report's
+    ``event_loop`` field records which one actually drove the run).
+    """
+    if config.uvloop:
+        try:
+            import uvloop  # soft dependency: not in the base install
+        except ImportError:
+            uvloop = None  # type: ignore[assignment]
+        if uvloop is not None:
+            previous = asyncio.get_event_loop_policy()
+            asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+            try:
+                return asyncio.run(_run(config))
+            finally:
+                asyncio.set_event_loop_policy(previous)
     return asyncio.run(_run(config))

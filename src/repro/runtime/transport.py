@@ -22,10 +22,28 @@ name, with
   saturated kernel socket buffer under a fire-and-forget datagram
   model.  Loss is repaired by the protocol's retransmission, never by
   the transport;
-* a writer task that applies backpressure with ``writer.drain()``;
+* a writer task that *coalesces*: it drains the backlog into a burst
+  (capped by ``_MAX_BURST_FRAMES`` / ``_MAX_BURST_BYTES``), joins the
+  frames into one immutable ``bytes`` and pays a single
+  ``writer.write()`` + ``writer.drain()`` for the whole burst -- one
+  syscall and one backpressure round-trip amortised over up to 128
+  frames instead of each frame paying its own.  The join is a fresh
+  ``bytes`` object every attempt because the event loop (uvloop in
+  particular) may keep a reference to a written buffer until the write
+  completes -- a reused mutable scratch must never be handed to
+  ``write()``;
 * reconnect-with-backoff (50 ms doubling to 1 s) when the peer is not
-  yet listening or the connection drops; the frame being written when
-  a connection dies is retried on the next connection.
+  yet listening or the connection drops; the burst being written when
+  a connection dies is retried on the next connection *in full* -- the
+  unsent tail is kept, not just the first frame;
+* ``transport.queue_wait`` attribution is recorded when a frame leaves
+  the queue for a burst, exactly as it was for per-frame writes.
+
+Encoding reuses a per-link ``bytearray`` scratch (outer framing + the
+codec's :func:`~repro.runtime.codec.encode_into`) snapshotted to
+``bytes`` once per message; decoding hands the codec a ``memoryview``
+into the receive buffer (see the zero-copy contract in
+``runtime/codec.py`` and docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -45,6 +63,14 @@ _U16 = struct.Struct("!H")
 
 _BACKOFF_INITIAL = 0.05
 _BACKOFF_CAP = 1.0
+
+# Coalescing caps: bound the memory a single joined write may pin and
+# keep reconnect retransmission amortised (a lost connection re-sends
+# at most one burst).
+_MAX_BURST_FRAMES = 128
+_MAX_BURST_BYTES = 1 << 20
+
+_LEN_PLACEHOLDER = bytes(_LEN.size)
 
 
 class LiveHost:
@@ -81,6 +107,7 @@ class _PeerLink:
         self.transport = transport
         self.dst = dst
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_frames)
+        self.scratch = bytearray()   # per-link encode scratch (send path)
         self.task = asyncio.ensure_future(self._run())
         self.connects = 0
 
@@ -103,22 +130,51 @@ class _PeerLink:
 
     async def _run(self) -> None:
         writer = None
-        pending: Optional[bytes] = None
+        # Frames pulled off the queue but not yet confirmed written.  On
+        # a connection error the WHOLE list is retried on the next
+        # connection: a burst interrupted mid-write must re-send its
+        # unsent tail, not just its first frame.
+        pending: list[bytes] = []
+        pending_bytes = 0
+        queue = self.queue
+        note_dequeue = self.transport._note_dequeue
         try:
             while True:
-                if pending is None:
-                    enqueued_at, msg_id, pending = await self.queue.get()
-                    self.transport._note_dequeue(self.dst, msg_id, enqueued_at)
+                if not pending:
+                    enqueued_at, msg_id, frame = await queue.get()
+                    note_dequeue(self.dst, msg_id, enqueued_at)
+                    pending.append(frame)
+                    pending_bytes = len(frame)
+                    # Coalesce: opportunistically drain the backlog that
+                    # built up while the last burst was writing.
+                    while (len(pending) < _MAX_BURST_FRAMES
+                           and pending_bytes < _MAX_BURST_BYTES):
+                        try:
+                            enqueued_at, msg_id, frame = queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        note_dequeue(self.dst, msg_id, enqueued_at)
+                        pending.append(frame)
+                        pending_bytes += len(frame)
                 if writer is None:
                     _reader, writer = await self._connect()
                 try:
-                    writer.write(pending)
+                    # One write + one drain for the whole burst.  The
+                    # join allocates fresh immutable bytes on purpose:
+                    # the loop may hold the buffer until the write
+                    # lands (uvloop does), so no scratch reuse here.
+                    writer.write(
+                        pending[0] if len(pending) == 1
+                        else b"".join(pending)
+                    )
                     # Backpressure: wait for the socket buffer to drain
-                    # before pulling the next frame off the queue.
+                    # before pulling the next burst off the queue.
                     await writer.drain()
-                    pending = None
+                    self.transport._note_flush(len(pending), pending_bytes)
+                    pending.clear()
+                    pending_bytes = 0
                 except (ConnectionError, OSError):
-                    writer = None   # reconnect and retry this frame
+                    writer = None   # reconnect and retry the whole burst
         except asyncio.CancelledError:
             pass
         finally:
@@ -147,16 +203,22 @@ class TcpTransport:
         node: Optional[str] = None,
     ):
         decode_with_context = None
+        encode_into = None
         if encode is None or decode is None:
             from . import codec
 
             if encode is None:
                 encode = codec.encode
+                encode_into = codec.encode_into
             if decode is None:
                 decode = codec.decode
                 decode_with_context = codec.decode_with_context
         self.env = kernel
         self._encode = encode
+        # Zero-copy fast paths, only wired when the default codec is in
+        # play: scratch-append encode and memoryview-accepting decode.
+        # A custom codec keeps the copying bytes-in/bytes-out contract.
+        self._encode_into = encode_into
         self._decode = decode
         self._decode_with_context = decode_with_context
         self.node = node
@@ -193,6 +255,9 @@ class TcpTransport:
         self.dropped_backpressure = 0
         self.reconnect_attempts = 0
         self.peak_send_queue = 0
+        self.frames_coalesced = 0
+        self.writer_flushes = 0
+        self.bytes_written = 0
         # Registry instruments (None when no registry is installed):
         # the same numbers as the attributes above, but scrapeable via
         # the node's /metrics endpoint and `--metrics-out` dumps.
@@ -210,12 +275,24 @@ class TcpTransport:
                 actor, "transport_send_queue_depth"
             )
             self._m_queue_wait = metrics.histogram(actor, "queue_wait_ms")
+            self._m_frames_coalesced = metrics.counter(
+                actor, "transport_frames_coalesced"
+            )
+            self._m_writer_flushes = metrics.counter(
+                actor, "transport_writer_flushes"
+            )
+            self._m_bytes_per_write = metrics.histogram(
+                actor, "bytes_per_write"
+            )
         else:
             self._m_reconnects = None
             self._m_drop_crash = None
             self._m_drop_backpressure = None
             self._m_queue_depth = None
             self._m_queue_wait = None
+            self._m_frames_coalesced = None
+            self._m_writer_flushes = None
+            self._m_bytes_per_write = None
         # Queue-wait attribution (the queue-vs-wire split of the latency
         # budget) needs the msg_id extracted even when context
         # propagation is off; only bother when someone is listening.
@@ -227,6 +304,18 @@ class TcpTransport:
         self.reconnect_attempts += 1
         if self._m_reconnects is not None:
             self._m_reconnects.record()
+
+    def _note_flush(self, frames: int, nbytes: int) -> None:
+        """One coalesced burst was written and drained successfully."""
+        self.writer_flushes += 1
+        self.frames_coalesced += frames
+        self.bytes_written += nbytes
+        if self._m_writer_flushes is not None:
+            self._m_writer_flushes.record()
+        if self._m_frames_coalesced is not None:
+            self._m_frames_coalesced.record(frames)
+        if self._m_bytes_per_write is not None:
+            self._m_bytes_per_write.record(float(nbytes))
 
     def _note_dequeue(
         self, dst: str, msg_id: Optional[int], enqueued_at: float
@@ -314,6 +403,9 @@ class TcpTransport:
             "dropped_backpressure": self.dropped_backpressure,
             "reconnect_attempts": self.reconnect_attempts,
             "peak_send_queue": self.peak_send_queue,
+            "frames_coalesced": self.frames_coalesced,
+            "writer_flushes": self.writer_flushes,
+            "bytes_written": self.bytes_written,
         }
 
     # -- sending ------------------------------------------------------
@@ -354,27 +446,47 @@ class TcpTransport:
                 msg_id = getattr(
                     getattr(payload, "token", None), "msg_id", None
                 )
+        context: Optional[dict] = None
         if self._propagate_context:
-            context: dict = {"origin": self.node or src, "ts": self.env._now}
+            context = {"origin": self.node or src, "ts": self.env._now}
             if msg_id is not None:
                 context["msg_id"] = msg_id
-            body = self._encode(payload, trace_context=context)
-        else:
-            body = self._encode(payload)
-        src_raw = src.encode("utf-8")
-        dst_raw = dst.encode("utf-8")
-        inner = (
-            _SENT_AT.pack(self.env._now)
-            + _U16.pack(len(src_raw)) + src_raw
-            + _U16.pack(len(dst_raw)) + dst_raw
-            + body
-        )
-        frame = _LEN.pack(len(inner)) + inner
         link = self._links.get(dst)
         if link is None:
             link = self._links[dst] = _PeerLink(
                 self, dst, self._send_queue_frames
             )
+        src_raw = src.encode("utf-8")
+        dst_raw = dst.encode("utf-8")
+        if self._encode_into is not None:
+            # Zero-copy encode: build the outer frame in the link's
+            # reusable scratch (length patched once known), then
+            # snapshot to immutable bytes -- the only allocation per
+            # message, and required before queueing (writers must never
+            # see a mutable buffer; see the module docstring).
+            scratch = link.scratch
+            scratch.clear()
+            scratch += _LEN_PLACEHOLDER
+            scratch += _SENT_AT.pack(self.env._now)
+            scratch += _U16.pack(len(src_raw))
+            scratch += src_raw
+            scratch += _U16.pack(len(dst_raw))
+            scratch += dst_raw
+            self._encode_into(payload, scratch, context)
+            _LEN.pack_into(scratch, 0, len(scratch) - _LEN.size)
+            frame = bytes(scratch)
+        else:
+            if context is not None:
+                body = self._encode(payload, trace_context=context)
+            else:
+                body = self._encode(payload)
+            inner = (
+                _SENT_AT.pack(self.env._now)
+                + _U16.pack(len(src_raw)) + src_raw
+                + _U16.pack(len(dst_raw)) + dst_raw
+                + body
+            )
+            frame = _LEN.pack(len(inner)) + inner
         try:
             link.queue.put_nowait((self.env._now, msg_id, frame))
         except asyncio.QueueFull:
@@ -432,7 +544,13 @@ class TcpTransport:
         pos += dst_len
         context = None
         if self._decode_with_context is not None:
-            payload, context = self._decode_with_context(inner[pos:])
+            # Zero-copy decode: the codec parses straight out of the
+            # receive buffer through a memoryview -- no body copy.
+            # Decoded messages own their leaves (codec contract), so
+            # `inner` is free as soon as this returns.
+            payload, context = self._decode_with_context(
+                memoryview(inner)[pos:]
+            )
         else:
             payload = self._decode(inner[pos:])
         if context is not None and context.get("msg_id") is not None:

@@ -1,0 +1,142 @@
+"""Property tests for the load-adaptive batching policy.
+
+The policy drives the live datapath's batch sizing, so its shape is
+pinned by properties rather than point examples: the batch target is
+monotone in observed queue depth, always bounded by [floor, ceiling],
+and decays back to the floor when the queue stays empty.  The sim
+backend must be unaffected: adaptive batching is opt-in and the
+default ``StreamConfig`` keeps the coordinator on the classic fixed
+batch cap (golden digests stay byte-identical -- ``tests/baselines``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paxos import CoordinatorActor, StreamConfig
+from repro.paxos.batching import AdaptiveBatchPolicy
+from repro.sim import Environment, Network
+
+
+def _policy(**overrides):
+    params = dict(floor=16, ceiling=256, half_pressure=32.0,
+                  decay_s=0.25, max_linger_s=0.002)
+    params.update(overrides)
+    return AdaptiveBatchPolicy(**params)
+
+
+@given(
+    depth_a=st.integers(min_value=0, max_value=100_000),
+    depth_b=st.integers(min_value=0, max_value=100_000),
+)
+def test_target_monotone_in_queue_depth(depth_a, depth_b):
+    lo, hi = sorted((depth_a, depth_b))
+    p_lo, p_hi = _policy(), _policy()
+    p_lo.observe(lo, now=1.0)
+    p_hi.observe(hi, now=1.0)
+    assert p_lo.target_tokens() <= p_hi.target_tokens()
+
+
+@given(
+    depths=st.lists(
+        st.integers(min_value=0, max_value=1_000_000), min_size=1, max_size=50
+    ),
+    dt=st.floats(min_value=0.0, max_value=10.0,
+                 allow_nan=False, allow_infinity=False),
+)
+def test_target_and_linger_always_bounded(depths, dt):
+    policy = _policy()
+    now = 0.0
+    for depth in depths:
+        policy.observe(depth, now)
+        assert policy.floor <= policy.target_tokens() <= policy.ceiling
+        assert 0.0 <= policy.linger_s() <= policy.max_linger_s
+        now += dt
+
+
+@given(depth=st.integers(min_value=1, max_value=1_000_000))
+@settings(max_examples=50)
+def test_decays_to_floor_when_idle(depth):
+    policy = _policy()
+    policy.observe(depth, now=0.0)
+    assert policy.target_tokens() >= policy.floor
+    # 100 decay constants later the level has hit the hard zero clamp:
+    # an idle stream is back to the classic floor and zero linger.
+    policy.observe(0, now=100 * policy.decay_s)
+    assert policy.level(100 * policy.decay_s) == 0.0
+    assert policy.target_tokens() == policy.floor
+    assert policy.linger_s() == 0.0
+
+
+def test_peak_hold_raises_instantly_and_holds():
+    policy = _policy()
+    policy.observe(1000, now=0.0)
+    high = policy.target_tokens()
+    # A shallow sample at the same instant must not lower the target.
+    policy.observe(0, now=0.0)
+    assert policy.target_tokens() == high
+    # Shortly after, the target has decayed but not collapsed.
+    policy.observe(0, now=0.01)
+    assert policy.floor < policy.target_tokens() <= high
+
+
+def test_half_pressure_is_the_midpoint():
+    policy = _policy(floor=16, ceiling=256, half_pressure=32.0)
+    policy.observe(32, now=0.0)
+    assert policy.target_tokens() == 16 + (256 - 16) // 2
+
+
+def test_from_config_wires_all_knobs():
+    config = StreamConfig(
+        name="s1",
+        acceptors=("s1/a1",),
+        adaptive_batching=True,
+        batch_max_tokens=8,
+        adaptive_batch_ceiling=128,
+        adaptive_half_pressure=10.0,
+        adaptive_decay_s=0.5,
+        adaptive_max_linger_s=0.004,
+    )
+    policy = AdaptiveBatchPolicy.from_config(config)
+    assert policy.floor == 8
+    assert policy.ceiling == 128
+    assert policy.half_pressure == 10.0
+    assert policy.decay_s == 0.5
+    assert policy.max_linger_s == 0.004
+
+
+def test_constructor_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        AdaptiveBatchPolicy(floor=0, ceiling=16)
+    with pytest.raises(ValueError):
+        AdaptiveBatchPolicy(floor=16, ceiling=8)
+    with pytest.raises(ValueError):
+        AdaptiveBatchPolicy(floor=1, ceiling=2, half_pressure=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveBatchPolicy(floor=1, ceiling=2, decay_s=-1.0)
+
+
+def _sim_coordinator(**config_overrides):
+    env = Environment()
+    net = Network(env)
+    config = StreamConfig(
+        name="s1", acceptors=("s1/a1",), **config_overrides
+    )
+    return CoordinatorActor(env, net, config)
+
+
+def test_sim_default_keeps_adaptive_batching_off():
+    # Determinism pin: the default StreamConfig must not grow a batch
+    # policy -- the sim's golden digests depend on the classic fixed
+    # batch path being byte-identical.
+    config = StreamConfig(name="s1", acceptors=("s1/a1",))
+    assert config.adaptive_batching is False
+    assert _sim_coordinator()._batch_policy is None
+
+
+def test_coordinator_grows_policy_when_enabled():
+    coordinator = _sim_coordinator(adaptive_batching=True)
+    assert coordinator._batch_policy is not None
+    assert coordinator._batch_policy.floor == coordinator.config.batch_max_tokens

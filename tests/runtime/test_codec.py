@@ -296,3 +296,81 @@ def test_supported_versions_are_exactly_one_and_two():
         bad = bytearray(codec.encode(Heartbeat(nonce=1)))
         bad[0] = 3
         codec.decode_with_context(bytes(bad))
+
+
+# -- zero-copy encode/decode (PR 8) -------------------------------------
+
+@pytest.mark.parametrize(
+    "cls", codec.registered_classes(), ids=lambda c: c.__name__
+)
+def test_encode_into_is_byte_identical_to_encode(cls):
+    # The scratch-buffer encoder is the datapath's fast path; it must
+    # produce bit-for-bit the same frames as ``encode`` so golden byte
+    # counts and cross-version interop are unaffected.
+    original = CORPUS[cls]
+    context = {"origin": "n1", "ts": 2.5, "msg_id": 11}
+    for ctx in (None, context):
+        out = bytearray(b"prefix")   # encode_into appends, never clears
+        n = codec.encode_into(original, out, trace_context=ctx)
+        assert bytes(out[6:]) == codec.encode(original, trace_context=ctx)
+        assert n == len(out) - 6
+
+
+@pytest.mark.parametrize(
+    "cls", codec.registered_classes(), ids=lambda c: c.__name__
+)
+def test_decode_accepts_memoryview(cls):
+    original = CORPUS[cls]
+    frame = bytearray(codec.encode(original))
+    decoded, context = codec.decode_with_context(memoryview(frame))
+    assert context is None
+    # Decoded leaves must be owned copies: scrambling the receive
+    # buffer afterwards must not corrupt the decoded message.
+    for i in range(len(frame)):
+        frame[i] ^= 0xFF
+    assert decoded == original
+
+
+def test_decoded_strings_are_real_str_not_views():
+    frame = codec.encode(Propose("s1", _value(payload="hello")))
+    decoded = codec.decode(memoryview(bytearray(frame)))
+    assert type(decoded.token.payload) is str
+    assert type(decoded.stream) is str
+
+
+# -- robustness fuzz: truncation and corruption (PR 8) ------------------
+
+@pytest.mark.parametrize(
+    "cls", codec.registered_classes(), ids=lambda c: c.__name__
+)
+def test_truncation_fuzz_raises_codec_error_only(cls):
+    # Every prefix of every registered frame must either decode cleanly
+    # (truncation inside the modeled padding) or raise CodecError --
+    # never a raw struct.error / IndexError / UnicodeDecodeError.
+    frame = codec.encode(CORPUS[cls])
+    step = 1 if len(frame) <= 256 else 7
+    for cut in range(0, len(frame), step):
+        try:
+            codec.decode_with_context(frame[:cut])
+        except codec.CodecError:
+            pass
+
+
+@pytest.mark.parametrize(
+    "cls", codec.registered_classes(), ids=lambda c: c.__name__
+)
+def test_corruption_fuzz_raises_codec_error_only(cls):
+    import random
+
+    frame = codec.encode(CORPUS[cls])
+    rng = random.Random(0xC0DEC + len(frame))
+    positions = range(len(frame)) if len(frame) <= 128 else (
+        rng.sample(range(len(frame)), 128)
+    )
+    for pos in positions:
+        corrupt = bytearray(frame)
+        corrupt[pos] ^= rng.randrange(1, 256)
+        try:
+            codec.decode_with_context(bytes(corrupt))
+        except codec.CodecError:
+            pass

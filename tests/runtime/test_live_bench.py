@@ -1,0 +1,93 @@
+"""Smoke tests for the live-backend benchmark suite.
+
+The microbenchmarks run at tiny sizes (milliseconds) so the suite's
+plumbing -- report schema, baseline comparison, summary rendering --
+is exercised on every test run.  The full cluster benchmark is the CI
+live-perf-smoke job's territory (``python -m repro bench --live``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.live import (
+    LIVE_BENCH_SCHEMA_VERSION,
+    PRE_PR_LIVE,
+    bench_codec_roundtrip,
+    bench_transport_stream,
+    compare_live_to_baseline,
+    install_uvloop,
+    live_summary_lines,
+)
+
+
+def test_codec_roundtrip_bench_smoke():
+    result = bench_codec_roundtrip(300)
+    assert result["roundtrips_per_s"] > 0
+    assert result["mb_per_s"] > 0
+    assert result["roundtrips"] > 0
+
+
+def test_transport_stream_bench_smoke():
+    result = bench_transport_stream(200)
+    assert result["frames_per_s"] > 0
+    assert result["frames"] == 200
+    # Coalescing was live: flush accounting is populated and consistent.
+    assert result["frames_per_flush"] >= 1.0
+
+
+def test_install_uvloop_soft_fails_without_dependency():
+    # The container has no uvloop; the gate must answer False without
+    # raising (and must not disturb the default loop policy).
+    try:
+        import uvloop  # noqa: F401
+        expected = True
+    except ImportError:
+        expected = False
+    assert install_uvloop() is expected
+
+
+def _fake_report(values_per_s: float) -> dict:
+    return {
+        "schema": LIVE_BENCH_SCHEMA_VERSION,
+        "suite": "live",
+        "benchmarks": {
+            "codec_roundtrip": {
+                "roundtrips_per_s": 10_000.0, "mb_per_s": 10.0
+            },
+            "transport_stream": {
+                "frames_per_s": 40_000.0, "mb_per_s": 8.0,
+                "frames_per_flush": 30.0,
+            },
+            "live_cluster": {
+                "values_per_s": values_per_s, "offered_per_s": 6_000.0,
+                "latency_p50_ms": 50.0, "latency_p99_ms": 200.0,
+                "agreed": True,
+            },
+        },
+    }
+
+
+def test_compare_flags_live_cluster_regression():
+    baseline = _fake_report(5_000.0)
+    _lines, regressions = compare_live_to_baseline(
+        _fake_report(2_000.0), baseline, threshold=0.25
+    )
+    assert any("live_cluster" in r for r in regressions)
+    _lines, regressions = compare_live_to_baseline(
+        _fake_report(4_900.0), baseline, threshold=0.25
+    )
+    assert regressions == []
+
+
+def test_summary_lines_render_all_benchmarks():
+    lines = live_summary_lines(_fake_report(5_000.0))
+    text = "\n".join(lines)
+    assert "codec_roundtrip" in text
+    assert "transport_stream" in text
+    assert "live_cluster" in text
+    assert "agreed" in text
+
+
+def test_pre_pr_baseline_is_pinned():
+    # The committed speedup claim is measured against these numbers;
+    # they must not drift silently.
+    assert PRE_PR_LIVE["live_cluster"]["values_per_s"] == 3234.0

@@ -41,3 +41,35 @@ def test_live_two_stream_cluster_agrees():
     # Real sockets were used: delivered bytes went through TCP framing.
     assert report.transport_counters["bytes_delivered"] > 0
     assert "OK" in report.summary()
+    # Datapath defaults (PR 8): ring dissemination over TCP, adaptive
+    # batching on, and the coalescing counters alive on real sockets.
+    assert report.dissemination == "ring"
+    assert report.event_loop    # records the loop actually used
+    assert report.transport_counters["frames_coalesced"] > 0
+    assert report.transport_counters["writer_flushes"] > 0
+
+
+def _classic_attempt():
+    config = LiveConfig(
+        streams=1,
+        replicas=2,
+        duration=1.5,
+        rate=120.0,
+        drain_timeout=20.0,
+        dissemination="classic",
+        adaptive_batching=False,
+    )
+    return run_live(config)
+
+
+def test_live_classic_dissemination_agrees():
+    # The classic (direct phase-2) datapath must stay live-capable:
+    # same agreement guarantees, no ring topology.
+    report = _classic_attempt()
+    if not report.ok:
+        report = _classic_attempt()
+    assert report.dissemination == "classic"
+    assert report.sequences_identical, report.summary()
+    assert min(report.delivered_per_replica.values()) > 0, report.summary()
+    assert report.violations == [], report.summary()
+    assert report.kernel_failures == [], report.summary()

@@ -117,6 +117,92 @@ def test_backpressure_queue_full_drops():
     run(main())
 
 
+class Sink(Actor):
+    """Receiver that never replies (keeps delivery counts one-sided)."""
+
+    def __init__(self, env, network, name):
+        super().__init__(env, network, name)
+        self.seen = []
+
+    def on_heartbeat(self, msg, src):
+        self.seen.append(msg.nonce)
+
+
+def test_writer_coalescing_counters_and_metrics():
+    # A synchronous burst of sends must leave the writer task exactly
+    # one wakeup: far fewer flushes than frames, with the coalescing
+    # counters and the bytes-per-write histogram fed to the registry.
+    async def main():
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        kernel = AsyncioKernel(tracer=None, metrics=registry)
+        transport = TcpTransport(kernel, node="n1")
+        sink = Sink(kernel, transport, "b")
+        await transport.start()
+        sink.start()
+        for nonce in range(50):
+            transport.send("a", "b", Heartbeat(nonce=nonce), 56)
+        assert await eventually(lambda: len(sink.seen) == 50)
+        counters = transport.counters()
+        assert counters["frames_coalesced"] == 50
+        assert 1 <= counters["writer_flushes"] < 50
+        assert counters["bytes_written"] == transport.bytes_delivered
+        totals = {
+            e["name"]: e["total"]
+            for e in registry.dump()["counters"]
+        }
+        assert totals["transport_frames_coalesced"] == 50
+        assert totals["transport_writer_flushes"] == counters["writer_flushes"]
+        histograms = {
+            name: series
+            for (_actor, name), series in registry.histograms().items()
+        }
+        assert "bytes_per_write" in histograms
+        sink.stop()
+        await transport.stop()
+
+    run(main())
+
+
+def test_reconnect_resends_unsent_burst_tail_exactly_once():
+    # A burst interrupted by a connection error must be re-sent whole
+    # after reconnecting: every frame delivered exactly once, in order.
+    async def main():
+        kernel = AsyncioKernel()
+        transport = TcpTransport(kernel)
+        sink = Sink(kernel, transport, "b")
+        await transport.start()
+        sink.start()
+        # Fail the first link write *before* any bytes reach the socket
+        # -- the link must treat it as a disconnect and retry the whole
+        # pending burst on the fresh connection.
+        real_write = asyncio.StreamWriter.write
+        state = {"failed": False}
+
+        def flaky_write(self, data):
+            if not state["failed"]:
+                state["failed"] = True
+                raise ConnectionError("injected: link write failed")
+            return real_write(self, data)
+
+        asyncio.StreamWriter.write = flaky_write
+        try:
+            for nonce in range(20):
+                transport.send("a", "b", Heartbeat(nonce=nonce), 56)
+            assert await eventually(lambda: len(sink.seen) == 20)
+        finally:
+            asyncio.StreamWriter.write = real_write
+        assert state["failed"], "injected fault was never hit"
+        assert sink.seen == list(range(20))
+        assert transport._links["b"].connects >= 2
+        assert transport.messages_delivered == 20
+        sink.stop()
+        await transport.stop()
+
+    run(main())
+
+
 def test_drop_counters_feed_the_metrics_registry():
     async def main():
         from repro.obs.metrics import MetricsRegistry
