@@ -56,6 +56,7 @@ see the "Latency attribution" section of ``docs/OBSERVABILITY.md``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .harness.experiments import (
@@ -598,6 +599,65 @@ def _live(args) -> int:
     return 0 if report.ok else 1
 
 
+def _deploy(args) -> int:
+    from .deploy import SCENARIOS, run_deploy
+    from .deploy.supervisor import DeployConfig
+
+    if args.list_scenarios:
+        rows = [
+            (name, scenario.description)
+            for name, scenario in sorted(SCENARIOS.items())
+        ]
+        print(plain_table(("scenario", "what it does"), rows))
+        return 0
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; "
+              f"pick from {', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    scenario = SCENARIOS[args.scenario]
+    spec = scenario.build_spec(
+        nodes=args.nodes,
+        streams=args.streams,
+        replicas=args.replicas,
+        duration=args.duration,
+        rate=args.rate,
+        burst=args.burst,
+        profile=args.profile,
+    )
+    run_dir = args.run_dir or os.path.join("deploy-runs", args.scenario)
+    config = DeployConfig(
+        spec=spec,
+        run_dir=run_dir,
+        scenario=args.scenario,
+        address_file=args.address_file,
+        verbose=args.verbose,
+    )
+    print(section(
+        f"deploy: {len(spec.nodes)} worker processes, "
+        f"{len(spec.streams)} streams x {len(spec.all_replicas())} "
+        f"replicas, scenario {args.scenario}"
+    ))
+    report = run_deploy(config)
+    if not args.verbose:
+        print(report.summary())
+    traces = [
+        trace
+        for entry in report.manifest["nodes"].values()
+        for trace in entry["trace_files"]
+    ]
+    if traces:
+        print(f"\nmerge the timeline with: python -m repro trace-merge "
+              f"{' '.join(traces)} --out {os.path.join(run_dir, 'merged.trace.jsonl')}")
+    print(f"manifest: {report.manifest_path}")
+    return 0 if report.ok else 1
+
+
+def _worker(args) -> int:
+    from .deploy.worker import worker_main
+
+    return worker_main(args)
+
+
 def _trace_merge(args) -> int:
     from .obs import cross_node_messages, merge_files
 
@@ -804,6 +864,67 @@ def build_parser() -> argparse.ArgumentParser:
                       help="drive the cluster with uvloop when installed "
                            "(soft dependency; falls back to asyncio)")
 
+    deploy = sub.add_parser(
+        "deploy",
+        help="run the cluster as real OS processes with live chaos "
+             "injection (docs/DEPLOY.md)",
+    )
+    deploy.add_argument("--scenario", default="baseline",
+                        help="chaos scenario: baseline, kill9, partition, "
+                             "clock-skew, rolling-replace (default "
+                             "baseline); --list-scenarios to describe")
+    deploy.add_argument("--list-scenarios", action="store_true",
+                        help="describe the scenarios and exit")
+    deploy.add_argument("--nodes", type=int, default=3,
+                        help="worker processes (default 3)")
+    deploy.add_argument("--streams", type=int, default=2,
+                        help="number of Paxos streams (default 2)")
+    deploy.add_argument("--replicas", type=int, default=3,
+                        help="replicas in the group (default 3)")
+    deploy.add_argument("--duration", type=float, default=4.0,
+                        help="workload wall seconds (default 4)")
+    deploy.add_argument("--rate", type=float, default=200.0,
+                        help="client multicasts per second (default 200)")
+    deploy.add_argument("--burst", type=int, default=1,
+                        help="client submissions per workload tick")
+    deploy.add_argument("--run-dir", default=None,
+                        help="run directory for the spec, traces, logs, "
+                             "metrics and manifest (default: "
+                             "deploy-runs/<scenario>)")
+    deploy.add_argument("--address-file", default=None,
+                        help="JSON map of pre-started remote workers' "
+                             "control addresses; connect instead of "
+                             "spawning children (docs/DEPLOY.md)")
+    deploy.add_argument("--profile", action="store_true",
+                        help="run each worker's stack sampler and write "
+                             "collapsed stacks into the run directory")
+    deploy.add_argument("--verbose", action="store_true",
+                        help="stream supervisor progress as it happens")
+
+    worker = sub.add_parser(
+        "worker",
+        help="one deployment worker process (spawned by `deploy`; "
+             "start manually for --address-file mode)",
+    )
+    worker.add_argument("--spec", required=True,
+                        help="topology spec JSON written by the supervisor")
+    worker.add_argument("--node", required=True,
+                        help="which node of the spec this process hosts")
+    worker.add_argument("--run-dir", required=True,
+                        help="directory for this node's trace/log/flight "
+                             "files")
+    worker.add_argument("--ready-file", default=None,
+                        help="write a JSON ready marker (control address, "
+                             "pid) here once listening")
+    worker.add_argument("--control-host", default="127.0.0.1",
+                        help="control RPC bind host (default 127.0.0.1)")
+    worker.add_argument("--control-port", type=int, default=0,
+                        help="control RPC bind port (default: ephemeral)")
+    worker.add_argument("--transport-host", default="127.0.0.1",
+                        help="data transport bind host (default 127.0.0.1)")
+    worker.add_argument("--incarnation", type=int, default=0,
+                        help="restart generation (stamps the trace node id)")
+
     merge = sub.add_parser(
         "trace-merge",
         help="merge per-node live traces into one aligned timeline",
@@ -830,7 +951,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, p in sub.choices.items():
         # Live runs are wall-clock and nondeterministic: no --seed.
         if name in ("faults", "stats", "validate-trace", "latency", "bench",
-                    "live", "trace-merge", "top"):
+                    "live", "trace-merge", "top", "deploy", "worker"):
             continue
         p.add_argument("--seed", type=int, default=1)
         if name in ("provisioning", "all"):
@@ -851,6 +972,8 @@ _DISPATCH = {
     "latency": _latency,
     "bench": _bench,
     "live": _live,
+    "deploy": _deploy,
+    "worker": _worker,
     "trace-merge": _trace_merge,
     "top": _top,
 }

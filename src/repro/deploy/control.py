@@ -1,0 +1,169 @@
+"""Length-prefixed JSON control RPC between supervisor and workers.
+
+Deliberately minimal: one ``[u32 length][JSON object]`` frame per
+request and per response, handled sequentially per connection.  The
+request carries ``{"op": ..., **params}``; the response is
+``{"ok": true, **result}`` or ``{"ok": false, "error": ...}``.  The
+*data* plane (protocol messages) never touches this channel -- it
+rides the binary :class:`~repro.runtime.transport.TcpTransport`; the
+control plane only coordinates lifecycle (hello / register / start /
+workload / status / stop) and chaos injection, where a debuggable
+text protocol beats a compact one.
+
+Both ends are plain asyncio; the server runs inside the worker's event
+loop next to the transport and telemetry listeners.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Awaitable, Callable, Optional
+
+__all__ = ["ControlClient", "ControlError", "ControlServer"]
+
+_LEN = struct.Struct("!I")
+
+# A control frame is small (status dumps, address maps); a frame
+# claiming to be bigger than this is a protocol error, not a payload.
+_MAX_FRAME = 32 * 1024 * 1024
+
+Handler = Callable[[dict], Awaitable[dict]]
+
+
+class ControlError(RuntimeError):
+    """The remote handler reported failure (``ok: false``)."""
+
+
+def _pack(payload: dict) -> bytes:
+    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _LEN.pack(len(raw)) + raw
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > _MAX_FRAME:
+        raise ControlError(f"control frame of {length} bytes refused")
+    try:
+        raw = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return json.loads(raw.decode("utf-8"))
+
+
+class ControlServer:
+    """The worker-side listener dispatching ops to an async handler.
+
+    The handler receives the request dict and returns the result dict
+    (``ok`` is added here); raising surfaces as ``ok: false`` with the
+    exception text, keeping one bad op from killing the worker.
+    """
+
+    def __init__(
+        self,
+        handler: Handler,
+        bind_host: str = "127.0.0.1",
+        bind_port: int = 0,
+    ):
+        self._handler = handler
+        self._bind_host = bind_host
+        self._bind_port = bind_port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[tuple[str, int]] = None
+        self.requests_served = 0
+
+    async def start(self) -> tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("control server already started")
+        self._server = await asyncio.start_server(
+            self._serve, self._bind_host, self._bind_port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await _read_frame(reader)
+                if request is None:
+                    return
+                try:
+                    result = await self._handler(request)
+                    response = {"ok": True, **(result or {})}
+                except Exception as exc:   # surface, don't kill the loop
+                    response = {"ok": False, "error": f"{exc!r}"}
+                writer.write(_pack(response))
+                await writer.drain()
+                self.requests_served += 1
+        except (ConnectionError, ControlError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+
+class ControlClient:
+    """The supervisor's end: one persistent connection per worker."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def connect(self, timeout: float = 5.0) -> None:
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), timeout
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def call(self, op: str, timeout: float = 10.0, **params: Any) -> dict:
+        """One request/response round trip; raises :class:`ControlError`
+        on an ``ok: false`` response or a dead connection."""
+        if self._writer is None:
+            raise ControlError(f"control client to {self.host}:{self.port} "
+                               f"is not connected")
+        async with self._lock:      # one in-flight request per connection
+            self._writer.write(_pack({"op": op, **params}))
+            try:
+                await self._writer.drain()
+                response = await asyncio.wait_for(
+                    _read_frame(self._reader), timeout
+                )
+            except (ConnectionError, OSError) as exc:
+                raise ControlError(f"{op}: connection lost ({exc!r})") from exc
+        if response is None:
+            raise ControlError(f"{op}: worker closed the control connection")
+        if not response.get("ok"):
+            raise ControlError(f"{op}: {response.get('error', 'failed')}")
+        return response

@@ -1,0 +1,42 @@
+"""Deployment-plane wire messages.
+
+A multi-process deployment splits the stream directory across workers:
+the worker that *hosts* a stream owns its :class:`StreamDeployment`;
+every other worker holds a :class:`~repro.deploy.agent.RemoteStreamDeployment`
+stub.  When a replica on one worker attaches a learner to a stream
+hosted elsewhere, the stub sends :class:`JoinLearner` over the data
+transport to the owning worker's deploy agent, which applies
+``add_learner`` / ``remove_learner`` to the real deployment and
+answers with :class:`JoinAck`.  The transport is fire-and-forget, so
+the requesting agent retries unacknowledged joins (the registration is
+idempotent on the receiving side).
+
+This module must stay leaf-light: :func:`repro.runtime.codec._register_all`
+imports it at codec-import time to assign the stable wire ids (60-69
+block), so it may only depend on :mod:`repro.net.messages`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.messages import Message
+
+__all__ = ["JoinAck", "JoinLearner"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinLearner(Message):
+    """Register (``add=True``) or drop a learner on a remote stream."""
+
+    stream: str
+    learner: str
+    add: bool
+    join_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class JoinAck(Message):
+    """Acknowledges one :class:`JoinLearner` by its ``join_id``."""
+
+    join_id: int

@@ -64,12 +64,36 @@ CAUSAL_STAGES: dict[str, int] = {
 }
 
 
-def read_trace(source: Union[str, TextIO, Iterable[str]]) -> list[dict]:
-    """Load a JSONL trace into a list of event dicts."""
+def read_trace(
+    source: Union[str, TextIO, Iterable[str]],
+    skip_malformed: bool = False,
+) -> list[dict]:
+    """Load a JSONL trace into a list of event dicts.
+
+    With ``skip_malformed`` unparsable lines are dropped instead of
+    raising.  A trace from a kill -9'd worker legitimately ends in a
+    torn tail -- the sink's buffered write dies mid-line -- and the
+    merge tool must salvage every complete event before it, so
+    :func:`merge_files` reads with this on.  Non-dict lines (a bare
+    JSON number or string that happens to parse) are skipped too.
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
-            return read_trace(handle)
-    return [json.loads(line) for line in source if line.strip()]
+            return read_trace(handle, skip_malformed=skip_malformed)
+    events = []
+    for line in source:
+        if not line.strip():
+            continue
+        if skip_malformed:
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+        else:
+            events.append(json.loads(line))
+    return events
 
 
 def write_trace(events: Iterable[dict], path: str) -> int:
@@ -217,10 +241,15 @@ def merge_files(
     out: Optional[str] = None,
     offsets: Optional[dict[str, float]] = None,
 ) -> list[dict]:
-    """Merge per-node trace files; optionally write the result to ``out``."""
+    """Merge per-node trace files; optionally write the result to ``out``.
+
+    Reads tolerantly (``skip_malformed``): a node that died by kill -9
+    leaves a torn final line, and the merged timeline must still carry
+    everything that node flushed before dying.
+    """
     traces: dict[str, list[dict]] = {}
     for index, path in enumerate(paths):
-        events = read_trace(path)
+        events = read_trace(path, skip_malformed=True)
         node = _node_of(events, f"node{index + 1}")
         traces.setdefault(node, []).extend(events)
     merged = merge_events(traces, offsets=offsets)

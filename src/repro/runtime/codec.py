@@ -500,5 +500,12 @@ def _register_all() -> None:
     register(reg.RegistryWatch, 54)
     register(reg.WatchEvent, 55)
 
+    # Deployment control plane: 60-69 (repro.deploy.wire is a leaf
+    # module -- importing it does not pull the deployment plane in).
+    from ..deploy import wire as dw
+
+    register(dw.JoinLearner, 60)
+    register(dw.JoinAck, 61)
+
 
 _register_all()

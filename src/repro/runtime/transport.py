@@ -36,6 +36,15 @@ name, with
   yet listening or the connection drops; the burst being written when
   a connection dies is retried on the next connection *in full* -- the
   unsent tail is kept, not just the first frame;
+* a *reachability cap*: after ``unreachable_after`` consecutive failed
+  connect attempts to a known address, the link parks as unreachable
+  instead of retrying forever -- its backlog is dropped (counted as
+  ``dropped_unreachable``), new sends drop immediately, and the peer
+  name is surfaced via :meth:`TcpTransport.unreachable_peers`.  A
+  fresh :meth:`TcpTransport.register_address` for that peer (how a
+  supervisor announces a restarted worker's new port) revives the
+  link; the in-flight burst held across the outage is still retried
+  in full;
 * ``transport.queue_wait`` attribution is recorded when a frame leaves
   the queue for a burst, exactly as it was for per-frame writes.
 
@@ -108,8 +117,15 @@ class _PeerLink:
         self.dst = dst
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_frames)
         self.scratch = bytearray()   # per-link encode scratch (send path)
+        self.unreachable = False
+        self._failures = 0           # consecutive failed connect attempts
+        self._revive = asyncio.Event()
         self.task = asyncio.ensure_future(self._run())
         self.connects = 0
+
+    def revive(self) -> None:
+        """Wake a parked link (a new address was registered)."""
+        self._revive.set()
 
     async def _connect(self) -> tuple:
         backoff = _BACKOFF_INITIAL
@@ -120,13 +136,44 @@ class _PeerLink:
                 try:
                     reader, writer = await asyncio.open_connection(*address)
                     self.connects += 1
+                    self._failures = 0
                     if reconnecting:
                         self.transport._count_reconnect()
                     return reader, writer
                 except OSError:
                     self.transport._count_reconnect()
+                    self._failures += 1
+                    if self._failures >= self.transport._unreachable_after:
+                        # The peer has a known address but nothing is
+                        # listening there: park instead of retrying
+                        # forever.  A register_address for this peer
+                        # (e.g. the restarted worker's new port)
+                        # revives us; until then the backlog is dead
+                        # weight and is dropped.
+                        await self._park()
+                        backoff = _BACKOFF_INITIAL
+                        continue
+            # No address yet is *not* a failure: deployments create
+            # links before the supervisor distributes the address map.
             await asyncio.sleep(backoff)
             backoff = min(backoff * 2, _BACKOFF_CAP)
+
+    async def _park(self) -> None:
+        self.unreachable = True
+        self._revive.clear()
+        dropped = 0
+        while True:
+            try:
+                self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            dropped += 1
+        self.transport._note_unreachable(self.dst, parked=True,
+                                         dropped=dropped)
+        await self._revive.wait()
+        self.unreachable = False
+        self._failures = 0
+        self.transport._note_unreachable(self.dst, parked=False)
 
     async def _run(self) -> None:
         writer = None
@@ -201,6 +248,7 @@ class TcpTransport:
         encode: Optional[Callable[..., bytes]] = None,
         decode: Optional[Callable[[bytes], Any]] = None,
         node: Optional[str] = None,
+        unreachable_after: int = 30,
     ):
         decode_with_context = None
         encode_into = None
@@ -231,6 +279,15 @@ class TcpTransport:
         # remote entries here.
         self._addresses: dict[str, tuple[str, int]] = {}
         self._links: dict[str, _PeerLink] = {}
+        if unreachable_after < 1:
+            raise ValueError("unreachable_after must be >= 1")
+        self._unreachable_after = unreachable_after
+        self._unreachable: set[str] = set()
+        # Peer names this node is partitioned from (chaos injection):
+        # outbound sends to and inbound frames from a blocked peer are
+        # dropped at the socket boundary, the live analogue of the sim
+        # fault layer's network partition.
+        self._blocked: set[str] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self.address: Optional[tuple[str, int]] = None
         tracer = kernel.tracer
@@ -253,6 +310,9 @@ class TcpTransport:
         self.bytes_delivered = 0
         self.dropped_on_crash = 0
         self.dropped_backpressure = 0
+        self.dropped_unreachable = 0
+        self.dropped_partition = 0
+        self.peers_parked = 0
         self.reconnect_attempts = 0
         self.peak_send_queue = 0
         self.frames_coalesced = 0
@@ -304,6 +364,24 @@ class TcpTransport:
         self.reconnect_attempts += 1
         if self._m_reconnects is not None:
             self._m_reconnects.record()
+
+    def _note_unreachable(self, dst: str, parked: bool,
+                          dropped: int = 0) -> None:
+        """A peer link parked as unreachable (or revived)."""
+        if parked:
+            self._unreachable.add(dst)
+            self.peers_parked += 1
+            self.messages_dropped += dropped
+            self.dropped_unreachable += dropped
+        else:
+            self._unreachable.discard(dst)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "transport.peer_unreachable" if parked
+                else "transport.peer_revived",
+                self.env._now, dst=dst, dropped=dropped,
+            )
 
     def _note_flush(self, frames: int, nbytes: int) -> None:
         """One coalesced burst was written and drained successfully."""
@@ -383,8 +461,44 @@ class TcpTransport:
         return sorted(self._hosts)
 
     def register_address(self, name: str, address: tuple[str, int]) -> None:
-        """Map a (possibly remote) host name to its listener address."""
+        """Map a (possibly remote) host name to its listener address.
+
+        Re-registering a peer that was parked as unreachable revives
+        its link: this is how a restarted worker's fresh listener port
+        is announced."""
         self._addresses[name] = address
+        link = self._links.get(name)
+        if link is not None and link.unreachable:
+            link.revive()
+
+    # -- fault injection (deployment chaos plane) ---------------------
+
+    def set_partition(self, peers: list[str], blocked: bool = True) -> None:
+        """Block (or heal) traffic to and from the named peer hosts.
+
+        Symmetric at this node's boundary: outbound sends to a blocked
+        peer and inbound frames from one are dropped and counted as
+        ``dropped_partition``.  The supervisor applies the same set on
+        both sides of the cut."""
+        for peer in peers:
+            if blocked:
+                self._blocked.add(peer)
+            else:
+                self._blocked.discard(peer)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "transport.partition", self.env._now,
+                peers=sorted(peers), blocked=blocked,
+                now_blocked=sorted(self._blocked),
+            )
+
+    def partitioned_peers(self) -> list[str]:
+        return sorted(self._blocked)
+
+    def unreachable_peers(self) -> list[str]:
+        """Peers whose links are currently parked (reconnect cap hit)."""
+        return sorted(self._unreachable)
 
     # -- introspection (health endpoint / reports) --------------------
 
@@ -401,6 +515,10 @@ class TcpTransport:
             "bytes_delivered": self.bytes_delivered,
             "dropped_on_crash": self.dropped_on_crash,
             "dropped_backpressure": self.dropped_backpressure,
+            "dropped_unreachable": self.dropped_unreachable,
+            "dropped_partition": self.dropped_partition,
+            "peers_parked": self.peers_parked,
+            "peers_unreachable": len(self._unreachable),
             "reconnect_attempts": self.reconnect_attempts,
             "peak_send_queue": self.peak_send_queue,
             "frames_coalesced": self.frames_coalesced,
@@ -431,6 +549,11 @@ class TcpTransport:
                 self._m_drop_crash.record()
             self._trace_drop(src, dst, payload, "src_crashed")
             return
+        if dst in self._blocked:
+            self.messages_dropped += 1
+            self.dropped_partition += 1
+            self._trace_drop(src, dst, payload, "partition")
+            return
         tracer = self._net_tracer
         if tracer is not None:
             tracer.emit(
@@ -456,6 +579,14 @@ class TcpTransport:
             link = self._links[dst] = _PeerLink(
                 self, dst, self._send_queue_frames
             )
+        if link.unreachable:
+            # The link hit its reconnect cap and parked; queueing more
+            # would only grow a backlog for a peer that is not coming
+            # back on this address.
+            self.messages_dropped += 1
+            self.dropped_unreachable += 1
+            self._trace_drop(src, dst, payload, "peer_unreachable")
+            return
         src_raw = src.encode("utf-8")
         dst_raw = dst.encode("utf-8")
         if self._encode_into is not None:
@@ -553,6 +684,13 @@ class TcpTransport:
             )
         else:
             payload = self._decode(inner[pos:])
+        if src in self._blocked:
+            # Inbound half of a partition: frames already in flight (or
+            # sent before the remote side learned of the cut) die here.
+            self.messages_dropped += 1
+            self.dropped_partition += 1
+            self._trace_drop(src, dst, payload, "partition")
+            return
         if context is not None and context.get("msg_id") is not None:
             tracer = self._tracer
             if tracer is not None:

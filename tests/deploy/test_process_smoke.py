@@ -1,0 +1,95 @@
+"""Deployment smoke: the cluster as real OS processes.
+
+Each test here spawns actual ``python -m repro worker`` children and
+drives them over the control RPC -- the full tentpole path.  Wall
+clocks on shared CI machines stall arbitrarily, so runs are short,
+drain timeouts generous, and each scenario retries once before
+failing (the same policy as the single-process live smoke).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.deploy.chaos import SCENARIOS, run_deploy
+from repro.deploy.supervisor import DeployConfig
+from repro.deploy.topology import build_topology
+
+
+def _run(scenario: str, run_dir: str, **build_kwargs):
+    defaults = dict(
+        nodes=3, streams=2, replicas=3, duration=1.5, rate=80.0, burst=1
+    )
+    defaults.update(build_kwargs)
+    spec = SCENARIOS[scenario].build_spec(**defaults)
+    config = DeployConfig(spec=spec, run_dir=run_dir, scenario=scenario)
+    return run_deploy(config)
+
+
+def _attempt(scenario: str, tmp_path, **kwargs):
+    report = _run(scenario, str(tmp_path / "run1"), **kwargs)
+    if not report.ok:
+        report = _run(scenario, str(tmp_path / "run2"), **kwargs)
+    return report
+
+
+def test_three_process_baseline_agrees(tmp_path):
+    report = _attempt("baseline", tmp_path)
+    assert report.ok, report.summary()
+    manifest = report.manifest
+    # Really multi-process: three distinct worker PIDs, none of them us.
+    pids = [pid for entry in manifest["nodes"].values()
+            for pid in entry["pids"]]
+    assert len(pids) == 3
+    assert len(set(pids)) == 3
+    assert os.getpid() not in pids
+    assert manifest["agreement"]["ok"] is True
+    assert manifest["violations"] == {}
+    # A clean run leaves no flight-recorder dumps.
+    assert manifest["flight_dumps"] == []
+    assert manifest["workload"]["submitted"] > 0
+    # Every node wrote its trace; the spec landed next to them.
+    for entry in manifest["nodes"].values():
+        assert entry["trace_files"]
+        for trace in entry["trace_files"]:
+            assert os.path.exists(trace)
+    assert os.path.exists(os.path.join(report.run_dir, "topology.json"))
+    assert os.path.exists(os.path.join(report.run_dir, "metrics.json"))
+    # The manifest embeds the exact spec the workers hydrated from.
+    assert manifest["format"] == "repro-deploy-manifest/1"
+    assert manifest["spec"]["format"] == "repro-deploy-spec/1"
+    with open(os.path.join(report.run_dir, "topology.json")) as fh:
+        assert json.load(fh) == manifest["spec"]
+
+
+def test_kill9_restart_reconverges(tmp_path):
+    report = _attempt("kill9", tmp_path)
+    assert report.ok, report.summary()
+    manifest = report.manifest
+    chaos = manifest["chaos"]
+    victim = chaos["victim"]
+    # The victim really died and really came back as a new process.
+    assert manifest["nodes"][victim]["restarts"] == 1
+    assert len(manifest["nodes"][victim]["pids"]) == 2
+    assert chaos["killed_pid"] != chaos["restarted_pid"]
+    # Two incarnations, two trace files (distinct clock domains).
+    assert len(manifest["nodes"][victim]["trace_files"]) == 2
+    # Agreement includes the restarted replica's replayed sequence, and
+    # nothing tripped an invariant -- so no flight dumps either.
+    assert manifest["agreement"]["ok"] is True
+    assert manifest["violations"] == {}
+    assert manifest["flight_dumps"] == []
+
+
+def test_scenario_registry_is_complete():
+    assert set(SCENARIOS) == {
+        "baseline", "kill9", "partition", "clock-skew", "rolling-replace"
+    }
+    for scenario in SCENARIOS.values():
+        assert scenario.description
+        spec = scenario.build_spec(
+            nodes=3, streams=2, replicas=3,
+            duration=1.0, rate=50.0, burst=1,
+        )
+        assert spec.all_replicas()      # every scenario yields a valid spec

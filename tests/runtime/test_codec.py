@@ -13,6 +13,8 @@ import dataclasses
 
 import pytest
 
+from repro.deploy.wire import JoinAck, JoinLearner
+
 from repro.coordination.registry import (
     RegistryGet,
     RegistryGetReply,
@@ -128,6 +130,8 @@ CORPUS = {
     RegistrySetReply: RegistrySetReply(key="pm", request_id=2, version=4),
     RegistryWatch: RegistryWatch(key="pm"),
     WatchEvent: WatchEvent(key="pm", value="partition-map-v4", version=4),
+    JoinLearner: JoinLearner(stream="s2", learner="r3", add=True, join_id=12),
+    JoinAck: JoinAck(join_id=12),
 }
 
 

@@ -1,8 +1,8 @@
 """Layering: protocol code depends on the kernel interface, not the sim.
 
 The protocol layer (net, paxos, multicast, kvstore, coordination,
-storage) and the runtime package itself must not import ``repro.sim``
-at module level -- they code against :mod:`repro.runtime.kernel` so
+storage), the runtime package and the deployment plane must not import
+``repro.sim`` at module level -- they code against :mod:`repro.runtime.kernel` so
 the same sources run on the simulator and on the live asyncio kernel.
 Function-scoped deferred imports (e.g. the utilisation probe in
 ``runtime.resources``) are allowed: they create no import-time
@@ -24,6 +24,7 @@ PROTOCOL_PACKAGES = (
     "coordination",
     "storage",
     "runtime",
+    "deploy",
 )
 
 

@@ -1,0 +1,166 @@
+"""Transport fault handling: reconnect caps and socket-level partitions.
+
+The reconnect-forever loop of PR 6 was fine when every peer eventually
+came back on the same port; a multi-process deployment has peers that
+die for good (kill -9) and return on a *different* port.  These tests
+pin the new behaviour: a link parks as unreachable after a bounded
+number of failed connects, drops its backlog visibly, revives on
+``register_address``, and ``set_partition`` drops traffic in both
+directions without touching connection state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+from repro.net.actor import Actor
+from repro.paxos.messages import Heartbeat, HeartbeatAck
+from repro.runtime.asyncio_kernel import AsyncioKernel
+from repro.runtime.transport import TcpTransport
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=20))
+
+
+async def eventually(predicate, timeout=8.0, interval=0.01):
+    loop = asyncio.get_event_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+def dead_port() -> int:
+    """A port that was just free -- nothing listens there."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class Ponger(Actor):
+    def __init__(self, env, network, name):
+        super().__init__(env, network, name)
+        self.seen = []
+
+    def on_heartbeat(self, msg, src):
+        self.seen.append(msg.nonce)
+        self.send(src, HeartbeatAck(nonce=msg.nonce))
+
+
+class Pinger(Actor):
+    def __init__(self, env, network, name):
+        super().__init__(env, network, name)
+        self.acks = []
+
+    def on_heartbeat_ack(self, msg, src):
+        self.acks.append(msg.nonce)
+
+
+def test_reconnect_cap_parks_link_and_drops_backlog():
+    async def main():
+        kernel = AsyncioKernel()
+        transport = TcpTransport(kernel, unreachable_after=3)
+        await transport.start()
+        # A known address with nothing behind it: the permanently dead
+        # peer.  Every connect attempt fails with ECONNREFUSED.
+        transport.register_address("b", ("127.0.0.1", dead_port()))
+        transport.send("a", "b", Heartbeat(nonce=0), 56)
+        # Let the writer pull its first burst and block in connect, so
+        # the next sends build a genuine backlog in the queue.
+        await asyncio.sleep(0.02)
+        for nonce in range(1, 6):
+            transport.send("a", "b", Heartbeat(nonce=nonce), 56)
+        assert await eventually(
+            lambda: transport.unreachable_peers() == ["b"]
+        )
+        counters = transport.counters()
+        assert counters["peers_parked"] == 1
+        assert counters["peers_unreachable"] == 1
+        # The queued backlog died with the peer (the in-flight burst the
+        # writer already held is retried on revival instead).
+        assert counters["dropped_unreachable"] >= 5
+        # New sends to a parked peer drop immediately, without queueing.
+        before = transport.counters()["dropped_unreachable"]
+        transport.send("a", "b", Heartbeat(nonce=99), 56)
+        assert transport.counters()["dropped_unreachable"] == before + 1
+        assert transport.queue_depths().get("b", 0) == 0
+        await transport.stop()
+
+    run(main())
+
+
+def test_register_address_revives_parked_link():
+    async def main():
+        kernel = AsyncioKernel()
+        sender = TcpTransport(kernel, unreachable_after=2)
+        await sender.start()
+        sender.register_address("b", ("127.0.0.1", dead_port()))
+        sender.send("a", "b", Heartbeat(nonce=0), 56)
+        assert await eventually(lambda: sender.unreachable_peers() == ["b"])
+
+        # The peer comes back -- in deployment terms, the supervisor
+        # restarted the worker and re-broadcast its fresh port.
+        receiver = TcpTransport(kernel)
+        ponger = Ponger(kernel, receiver, "b")
+        await receiver.start()
+        ponger.start()
+        sender.register_address("b", receiver.address)
+        assert await eventually(lambda: sender.unreachable_peers() == [])
+        sender.send("a", "b", Heartbeat(nonce=7), 56)
+        assert await eventually(lambda: 7 in ponger.seen)
+        ponger.stop()
+        await sender.stop()
+        await receiver.stop()
+
+    run(main())
+
+
+def test_partition_drops_outbound_and_inbound():
+    async def main():
+        kernel = AsyncioKernel()
+        left = TcpTransport(kernel)
+        right = TcpTransport(kernel)
+        pinger = Pinger(kernel, left, "a")
+        ponger = Ponger(kernel, right, "b")
+        await left.start()
+        await right.start()
+        left.register_address("b", right.address)
+        right.register_address("a", left.address)
+        pinger.start()
+        ponger.start()
+        pinger.send("b", Heartbeat(nonce=1))
+        assert await eventually(lambda: pinger.acks == [1])
+
+        # Outbound: the sender's side of the cut drops before queueing.
+        left.set_partition(["b"])
+        assert left.partitioned_peers() == ["b"]
+        pinger.send("b", Heartbeat(nonce=2))
+        assert left.counters()["dropped_partition"] == 1
+        await asyncio.sleep(0.1)
+        assert 2 not in ponger.seen
+
+        # Inbound: a one-sided cut on the receiver kills frames that
+        # were already in flight when the cut landed.
+        left.set_partition(["b"], blocked=False)
+        right.set_partition(["a"])
+        pinger.send("b", Heartbeat(nonce=3))
+        assert await eventually(
+            lambda: right.counters()["dropped_partition"] >= 1
+        )
+        assert 3 not in ponger.seen
+
+        # Heal: traffic resumes on the same connections.
+        right.set_partition(["a"], blocked=False)
+        assert right.partitioned_peers() == []
+        pinger.send("b", Heartbeat(nonce=4))
+        assert await eventually(lambda: 4 in pinger.acks)
+        pinger.stop()
+        ponger.stop()
+        await left.stop()
+        await right.stop()
+
+    run(main())
