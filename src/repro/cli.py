@@ -25,6 +25,10 @@ Usage::
                          [--profile-dir DIR]
     python -m repro trace-merge n1.trace.jsonl n2.trace.jsonl --out merged.jsonl
     python -m repro top DIR/endpoints.json [--interval 1] [--iterations N]
+                        [--timeout 0.5]
+    python -m repro trace node.trace.jsonl --follow [--max-events N]
+    python -m repro watch RUN_DIR|endpoints.json [--follow] [--out alerts.jsonl]
+                          [--fail-on-alert] [--duration N]
 
 Each experiment command runs on the simulator and prints the
 paper-vs-measured comparison plus sparkline series; ``faults`` runs a
@@ -51,6 +55,14 @@ console (see the "Live mode" section of ``docs/OBSERVABILITY.md``).
 into named critical-path segments and prints the latency-budget
 report (works on sim traces and ``trace-merge``d live traces alike;
 see the "Latency attribution" section of ``docs/OBSERVABILITY.md``).
+``watch`` is the online safety certifier + anomaly watchdog: point it
+at a deploy run directory (tails the per-node traces, certifies prefix
+agreement / uniform acyclic order / no lost-or-duplicated deliveries
+live) or at an ``endpoints.json`` (polls ``/health``); exits 1 on a
+safety violation, and with ``--fail-on-alert`` exits 2 if any anomaly
+alert fired (the CI false-positive gate); ``trace FILE --follow``
+tails a node's JSONL trace live with the same incremental reader (see
+the "Online audit" section of ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -224,9 +236,74 @@ def _elasticity(args) -> int:
 _TRACEABLE = ("fig3", "fig4", "fig5", "provisioning")
 
 
+def _trace_follow(args) -> int:
+    """`trace FILE --follow`: tail a live node's JSONL trace, emitting
+    each event as it lands -- the same incremental reader the online
+    certifier runs on, so torn tails and truncation are tolerated."""
+    import json
+    import time
+
+    from .obs.audit import IncrementalTraceReader
+
+    path = args.experiment
+    if not os.path.exists(path) and args.idle_timeout is None:
+        # Without an idle bound, waiting on a path that never appears
+        # would hang forever; catch the typo up front.
+        print(f"error: {path}: no such trace file "
+              f"(pass --idle-timeout to wait for it)", file=sys.stderr)
+        return 2
+    reader = IncrementalTraceReader(path)
+    out = open(args.out, "w", encoding="utf-8") if args.out else None
+    emitted = 0
+    idle = 0.0
+    try:
+        while True:
+            events = reader.poll()
+            for event in events:
+                line = json.dumps(event, separators=(",", ":"))
+                if out is not None:
+                    out.write(line)
+                    out.write("\n")
+                else:
+                    print(line)
+                emitted += 1
+                if (args.max_events is not None
+                        and emitted >= args.max_events):
+                    return 0
+            if events:
+                idle = 0.0
+                if out is None:
+                    sys.stdout.flush()
+            else:
+                idle += args.interval
+                if (args.idle_timeout is not None
+                        and idle >= args.idle_timeout):
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if out is not None:
+            out.close()
+        print(f"trace --follow: {emitted} events from {path}"
+              + (f" -> {args.out}" if args.out else ""),
+              file=sys.stderr)
+
+
 def _trace(args) -> int:
     from .obs import ALL_CATEGORIES, DEFAULT_CATEGORIES, JsonlSink, Tracer, installed
 
+    if args.follow:
+        return _trace_follow(args)
+    if args.experiment not in _TRACEABLE:
+        print(f"error: unknown experiment {args.experiment!r} "
+              f"(choose from {', '.join(_TRACEABLE)}, or pass --follow "
+              f"with a trace JSONL file to tail)", file=sys.stderr)
+        return 2
+    if not args.out:
+        print("error: --out is required when running an experiment",
+              file=sys.stderr)
+        return 2
     if args.categories == "default":
         categories = DEFAULT_CATEGORIES
     elif args.categories == "all":
@@ -684,7 +761,119 @@ def _top(args) -> int:
         interval=args.interval,
         iterations=args.iterations,
         clear=not args.no_clear,
+        timeout=args.timeout,
     )
+
+
+def _watch_report(tick: dict) -> None:
+    for violation in tick.get("violations", ()):
+        print(f"VIOLATION [{violation.property}] {violation.message}")
+    for alert in tick.get("raised", ()):
+        print(f"ALERT [{alert.severity}] {alert.detector}"
+              f"{'/' + alert.key if alert.key else ''}: {alert.message}")
+    for alert in tick.get("cleared", ()):
+        print(f"clear {alert.detector}"
+              f"{'/' + alert.key if alert.key else ''}")
+
+
+def _watch(args) -> int:
+    """`watch`: online safety certifier + anomaly watchdog (see the
+    "Online audit" section of docs/OBSERVABILITY.md).
+
+    Exit codes: 0 clean, 1 safety violation proven, 2 with
+    --fail-on-alert when any anomaly alert fired (the CI
+    zero-false-positive gate), or usage error.
+    """
+    import time
+
+    from .obs.watch import EndpointsWatch, TraceWatch
+
+    target = args.target
+    endpoints_mode = False
+    if os.path.isdir(target):
+        mode = f"certifying trace dir {target}"
+        watch = TraceWatch(
+            directory=target, out=args.out,
+            stall_after=args.stall_after,
+            reconfig_bound=args.reconfig_bound,
+        )
+    elif os.path.isfile(target) and target.endswith(".json"):
+        from .runtime.console import load_endpoints
+
+        try:
+            endpoints = load_endpoints(target)
+        except (ValueError, KeyError) as exc:
+            print(f"error: {target}: {exc}", file=sys.stderr)
+            return 2
+        mode = f"polling {len(endpoints)} endpoints from {target}"
+        watch = EndpointsWatch(
+            endpoints, clock=time.time, out=args.out,
+            timeout=args.timeout,
+        )
+        endpoints_mode = True
+    elif os.path.isfile(target):
+        mode = f"certifying trace {target}"
+        watch = TraceWatch(
+            paths=[target], out=args.out,
+            stall_after=args.stall_after,
+            reconfig_bound=args.reconfig_bound,
+        )
+    else:
+        print(f"error: {target}: not a run directory, trace file or "
+              f"endpoints.json", file=sys.stderr)
+        return 2
+
+    print(section(f"watch: {mode}"))
+    deadline = (
+        None if args.duration is None else time.monotonic() + args.duration
+    )
+    try:
+        if endpoints_mode or args.follow:
+            # Live mode: keep polling until Ctrl-C or --duration.
+            while deadline is None or time.monotonic() < deadline:
+                tick = watch.step()
+                _watch_report(tick)
+                if endpoints_mode or not tick.get("events"):
+                    time.sleep(args.interval)
+        else:
+            # Post-hoc mode: drain the traces, then stop.
+            while True:
+                tick = watch.step()
+                _watch_report(tick)
+                if not tick.get("events"):
+                    break
+    except KeyboardInterrupt:
+        pass
+    summary = watch.close()
+
+    violations = summary.get("violations", [])
+    worker_violations = summary.get("worker_violations", [])
+    alerts = summary.get("alerts", [])
+    print(f"events observed     : {summary.get('events', len(alerts))}")
+    streams = summary.get("streams")
+    if streams:
+        print(f"streams             : {', '.join(streams)}")
+        marks = summary.get("watermarks", {})
+        for stream in streams:
+            mark = marks.get(stream, {})
+            print(f"  {stream:<8} low {mark.get('low', '-')} "
+                  f"high {mark.get('high', '-')}")
+    print(f"safety violations   : {len(violations)}")
+    print(f"worker violations   : {len(worker_violations)}")
+    print(f"alerts raised       : {len(alerts)} "
+          f"({len(summary.get('active_alerts', []))} still active)")
+    print(f"health score        : {summary.get('health_score', '-')}")
+    if args.out:
+        print(f"alert log -> {args.out} "
+              f"(validate with: python -m repro validate-trace {args.out})")
+    if violations or worker_violations:
+        print("SAFETY VIOLATION", file=sys.stderr)
+        return 1
+    if args.fail_on_alert and alerts:
+        print("ALERTS RAISED (--fail-on-alert)", file=sys.stderr)
+        return 2
+    print("certified: no safety violations observed")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -739,11 +928,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "execute nothing")
 
     trace = sub.add_parser(
-        "trace", help="run an experiment with trace capture to JSONL"
+        "trace", help="run an experiment with trace capture to JSONL, "
+                      "or tail a live trace file with --follow"
     )
-    trace.add_argument("experiment", choices=_TRACEABLE,
-                       help="experiment to run under tracing")
-    trace.add_argument("--out", required=True, help="output JSONL path")
+    trace.add_argument("experiment",
+                       help=f"experiment to run under tracing "
+                            f"({', '.join(_TRACEABLE)}), or with "
+                            f"--follow a trace JSONL file to tail")
+    trace.add_argument("--out", default=None,
+                       help="output JSONL path (required for "
+                            "experiments; optional tee for --follow)")
     trace.add_argument("--duration", type=float, default=None,
                        help="override the experiment's default duration")
     trace.add_argument(
@@ -751,6 +945,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="'default', 'all', or a comma-separated category list "
              "(net/sim/dispatch are the opt-in firehoses)",
     )
+    trace.add_argument("--follow", action="store_true",
+                       help="tail the given trace JSONL file live "
+                            "(tolerates torn tails and truncation)")
+    trace.add_argument("--interval", type=float, default=0.2,
+                       help="with --follow: poll period in seconds "
+                            "(default 0.2)")
+    trace.add_argument("--max-events", type=int, default=None,
+                       help="with --follow: stop after emitting this "
+                            "many events")
+    trace.add_argument("--idle-timeout", type=float, default=None,
+                       help="with --follow: stop after this many "
+                            "seconds without new events")
 
     stats = sub.add_parser(
         "stats", help="per-stage latency report from a recorded trace"
@@ -947,11 +1153,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stop after this many frames (default: forever)")
     top.add_argument("--no-clear", action="store_true",
                      help="append frames instead of clearing the screen")
+    top.add_argument("--timeout", type=float, default=0.5,
+                     help="per-node scrape timeout in seconds (default "
+                          "0.5); a dead node renders as unreachable "
+                          "instead of freezing the console")
+
+    watch = sub.add_parser(
+        "watch",
+        help="online safety certifier + anomaly watchdog over a run "
+             "(docs/OBSERVABILITY.md, 'Online audit')",
+    )
+    watch.add_argument("target",
+                       help="deploy run directory (tails its "
+                            "*.trace.jsonl files), a single trace JSONL "
+                            "file, or an endpoints.json (polls /health)")
+    watch.add_argument("--follow", action="store_true",
+                       help="keep tailing until Ctrl-C / --duration "
+                            "instead of stopping at end of input")
+    watch.add_argument("--interval", type=float, default=0.2,
+                       help="poll period in seconds (default 0.2)")
+    watch.add_argument("--duration", type=float, default=None,
+                       help="stop after this many wall seconds")
+    watch.add_argument("--out", default=None,
+                       help="write schema-valid audit.*/alert.* records "
+                            "to this JSONL alert log")
+    watch.add_argument("--stall-after", type=float, default=2.0,
+                       help="watermark/quorum stall bound in trace "
+                            "seconds (default 2)")
+    watch.add_argument("--reconfig-bound", type=float, default=5.0,
+                       help="reconfiguration commit-liveness bound in "
+                            "trace seconds (default 5)")
+    watch.add_argument("--timeout", type=float, default=0.5,
+                       help="per-node scrape timeout (endpoints mode)")
+    watch.add_argument("--fail-on-alert", action="store_true",
+                       help="exit 2 if any anomaly alert was raised "
+                            "(the CI zero-false-positive gate)")
 
     for name, p in sub.choices.items():
         # Live runs are wall-clock and nondeterministic: no --seed.
         if name in ("faults", "stats", "validate-trace", "latency", "bench",
-                    "live", "trace-merge", "top", "deploy", "worker"):
+                    "live", "trace-merge", "top", "deploy", "worker",
+                    "watch"):
             continue
         p.add_argument("--seed", type=int, default=1)
         if name in ("provisioning", "all"):
@@ -976,6 +1218,7 @@ _DISPATCH = {
     "worker": _worker,
     "trace-merge": _trace_merge,
     "top": _top,
+    "watch": _watch,
 }
 
 

@@ -266,6 +266,10 @@ async def _run(config: DeployConfig) -> DeployReport:
     try:
         await sup.start_workers()
         await sup.wire()
+        if config.watch:
+            # Every scenario runs under live certification: the online
+            # auditor tails the traces while the chaos plays out.
+            sup.start_watch()
         extra = await scenario.drive(sup)
         ok, detail = await sup.drain()
         violations = await sup.collect_violations()
@@ -274,11 +278,19 @@ async def _run(config: DeployConfig) -> DeployReport:
             detail += (
                 f"; invariant violations on {sorted(violations)}"
             )
+        audit = await sup.stop_watch()
+        if audit is not None and not audit["ok"]:
+            ok = False
+            detail += (
+                f"; online audit proved {len(audit['violations'])} "
+                f"safety violations (see alerts.jsonl)"
+            )
         if not ok:
             # Only an actual failure warrants the causal ring dumps.
             await sup.dump_flights(f"{config.scenario}: {detail}")
         manifest_path = await sup.collect(ok, detail, extra)
     finally:
+        await sup.stop_watch()
         await sup.stop_all()
     with open(manifest_path, "r", encoding="utf-8") as fh:
         manifest = json.load(fh)

@@ -65,6 +65,8 @@ class DeployConfig:
     clock_sync_samples: int = 5
     spawn_timeout: float = 20.0          # wall seconds to a worker's ready file
     verbose: bool = False
+    watch: bool = True                   # live online certifier over the run
+    watch_interval: float = 0.3          # certifier poll period (wall s)
 
 
 @dataclass
@@ -126,6 +128,9 @@ class DeploySupervisor:
         self.reference = self.spec.client_node()   # clock-sync anchor
         self.flight_dumps: list[str] = []
         self.lines: list[str] = []
+        self.watch = None                    # TraceWatch when running
+        self.audit_summary: Optional[dict] = None
+        self._watch_task: Optional[asyncio.Task] = None
 
     def log(self, line: str) -> None:
         self.lines.append(line)
@@ -405,6 +410,80 @@ class DeploySupervisor:
         await self.workers[name].call("skew", delta=delta)
         self.log(f"clock of {name} skewed by {delta:+.3f}s")
 
+    # -- online certification -----------------------------------------
+
+    def start_watch(self) -> None:
+        """Begin live certification: a :class:`repro.obs.watch
+        .TraceWatch` tails the run directory's per-node traces while
+        the scenario runs, proving the safety properties online and
+        appending watchdog alerts to ``alerts.jsonl``."""
+        from ..obs.watch import TraceWatch
+
+        self.watch = TraceWatch(
+            directory=self.run_dir,
+            out=os.path.join(self.run_dir, "alerts.jsonl"),
+        )
+        self._watch_task = asyncio.create_task(self._watch_loop())
+        self.log(f"online certifier watching {self.run_dir}")
+
+    async def _watch_loop(self) -> None:
+        while True:
+            try:
+                tick = self.watch.step()
+            except Exception as exc:
+                # The observer must never take down the run it observes.
+                self.log(f"watch error (certifier stopped): {exc!r}")
+                return
+            for violation in tick["violations"]:
+                self.log(f"AUDIT VIOLATION [{violation.property}] "
+                         f"{violation.message}")
+            for alert in tick["raised"]:
+                self.log(f"alert [{alert.severity}] {alert.detector}"
+                         f"{'/' + alert.key if alert.key else ''}: "
+                         f"{alert.message}")
+            for alert in tick["cleared"]:
+                self.log(f"alert cleared {alert.detector}"
+                         f"{'/' + alert.key if alert.key else ''}")
+            await asyncio.sleep(self.config.watch_interval)
+
+    async def flush_traces(self) -> None:
+        """Ask every surviving worker to flush its buffered trace lines
+        to disk, so the certifier's final drain sees the complete
+        timeline (a tail-end ``meta.clock`` or deliver would otherwise
+        sit in a stdio buffer until process exit)."""
+        for handle in self.workers.values():
+            if not handle.alive:
+                continue
+            try:
+                await handle.call("flush")
+            except ControlError:
+                pass
+
+    async def stop_watch(self) -> Optional[dict]:
+        """Final drain + close of the live certifier; returns (and
+        remembers, for the manifest) the audit summary.  Idempotent."""
+        if self.watch is None:
+            return None
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            try:
+                await self._watch_task
+            except asyncio.CancelledError:
+                pass
+            self._watch_task = None
+        if not self.watch.closed:
+            await self.flush_traces()
+            self.watch.drain()
+            summary = self.watch.close()
+            self.audit_summary = summary
+            self.log(
+                f"certifier: {summary['events']} events, "
+                f"{len(summary['violations'])} safety violations, "
+                f"{len(summary['alerts'])} alerts raised, "
+                f"health {summary['health_score']}"
+            )
+        return self.audit_summary
+
     # -- agreement ----------------------------------------------------
 
     async def gather_sequences(self) -> dict[str, list[tuple]]:
@@ -541,6 +620,8 @@ class DeploySupervisor:
             },
             "flight_dumps": self.flight_dumps,
         }
+        if self.audit_summary is not None:
+            manifest["audit"] = self.audit_summary
         if extra:
             manifest.update(extra)
         manifest_path = os.path.join(self.run_dir, "manifest.json")

@@ -389,6 +389,16 @@ class DeployWorker:
     async def _op_metrics(self, request: dict) -> dict:
         return {"dump": self.telemetry.registry.dump()}
 
+    async def _op_flush(self, request: dict) -> dict:
+        # The online certifier tails this worker's trace while it runs;
+        # flushing on request lets the supervisor certify the complete
+        # timeline *before* tearing the process down.
+        self.telemetry.flush_trace()
+        return {"written": (
+            self.telemetry._jsonl.written
+            if self.telemetry._jsonl is not None else 0
+        )}
+
     async def _op_stop(self, request: dict) -> dict:
         self._stop.set()
         return {}

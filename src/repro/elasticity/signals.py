@@ -62,6 +62,11 @@ class SignalSnapshot:
     shard_rate:
         Per-workload-shard submitted ops per second (empty when the
         workload is not sharded).
+    alerts:
+        Active watchdog alerts across the nodes, as ``"node:detector"``
+        strings (live source only; see docs/OBSERVABILITY.md, "Online
+        audit").  A policy can refuse to reconfigure a cluster that is
+        already anomalous.
     """
 
     at: float
@@ -73,6 +78,7 @@ class SignalSnapshot:
     latency_p99_ms: Optional[float] = None
     backpressure: float = 0.0
     shard_rate: Mapping[int, float] = field(default_factory=dict)
+    alerts: tuple[str, ...] = ()
 
     @property
     def total_rate(self) -> float:
@@ -217,7 +223,8 @@ class HttpSignalSource:
         pending = False
         provisioned: set[str] = set()
         backpressure = 0.0
-        for _node, (host, port) in sorted(self.endpoints.items()):
+        alerts: list[str] = []
+        for node, (host, port) in sorted(self.endpoints.items()):
             try:
                 metrics = await http_get_json(host, port, "/metrics.json")
                 health = await http_get_json(host, port, "/health")
@@ -250,6 +257,10 @@ class HttpSignalSource:
             )
             for depth in depths.values():
                 backpressure = max(backpressure, float(depth))
+            # /health rolls the node's self-observing watchdog in; an
+            # active alert here feeds straight into policy decisions.
+            for alert in health.get("alerts", ()):
+                alerts.append(f"{node}:{alert.get('detector', '?')}")
         decide_rate: dict[str, float] = {}
         for stream, total in totals.items():
             provisioned.add(stream)
@@ -275,4 +286,5 @@ class HttpSignalSource:
             decide_p99_ms=decide_p99,
             latency_p99_ms=latency_p99,
             backpressure=backpressure,
+            alerts=tuple(sorted(alerts)),
         )

@@ -18,6 +18,12 @@ imports ``obs.trace`` -- an eager import here would close that loop
 while ``sim.core`` is still initialising.
 """
 
+from .audit import (
+    AuditViolation,
+    IncrementalTraceReader,
+    SafetyCertifier,
+    TraceDirectorySource,
+)
 from .critpath import (
     BUDGET_FORMAT,
     SEGMENTS,
@@ -38,6 +44,14 @@ from .merge import (
 from .recorder import FlightRecorder
 from .schema import EVENT_SCHEMA, SchemaError, validate_event, validate_file
 from .spans import STAGES, LifecycleIndex, MessageLifecycle, SubscriptionTimeline
+from .watch import (
+    Alert,
+    EndpointsWatch,
+    TraceWatch,
+    Watchdog,
+    default_node_detectors,
+    default_trace_detectors,
+)
 from .trace import (
     ALL_CATEGORIES,
     DEFAULT_CATEGORIES,
@@ -55,8 +69,18 @@ from .trace import (
 
 __all__ = [
     "ALL_CATEGORIES",
+    "Alert",
+    "AuditViolation",
     "BUDGET_FORMAT",
     "CriticalPath",
+    "EndpointsWatch",
+    "IncrementalTraceReader",
+    "SafetyCertifier",
+    "TraceDirectorySource",
+    "TraceWatch",
+    "Watchdog",
+    "default_node_detectors",
+    "default_trace_detectors",
     "DEFAULT_CATEGORIES",
     "EVENT_SCHEMA",
     "SEGMENTS",

@@ -1,0 +1,667 @@
+"""Online safety certifier: stream the paper's invariants, live.
+
+``repro.faults.invariants`` checks Elastic Paxos's safety properties
+*in-process* and the golden digests check them *post-hoc*; this module
+checks them *while the cluster runs*, from the outside, with nothing
+but the per-node JSONL traces every live/deploy run already writes.
+
+Three layers:
+
+:class:`IncrementalTraceReader`
+    Tails one JSONL file.  Each :meth:`~IncrementalTraceReader.poll`
+    returns only the events appended since the previous poll, holding
+    any torn final line (a kill -9'd worker dies mid-``write``) in a
+    buffer until its newline arrives -- or forever, if it never does.
+    A file that shrinks (truncate + recreate) resets the cursor.
+
+:class:`TraceDirectorySource`
+    Tails every ``*.trace.jsonl`` under a run directory, discovering
+    new files between polls -- a restarted worker shows up as a fresh
+    incarnation trace (``n3-r1.trace.jsonl``) mid-run.  Merged
+    timelines (``merged.trace.jsonl``) are skipped: they duplicate the
+    per-node events.
+
+:class:`SafetyCertifier`
+    Consumes the event stream and maintains just enough state to check,
+    online and cross-node:
+
+    * **stream agreement** -- every ``(stream, position)`` carries one
+      msg_id, across all replicas of all nodes;
+    * **prefix agreement / uniform order** -- each replication group's
+      delivery sequences are prefixes of one canonical sequence;
+    * **no lost or duplicated deliveries** -- per (incarnation,
+      replica, stream) positions are strictly increasing and gap-free;
+    * **acyclic order** -- the union of the groups' canonical
+      sequences stays a DAG (:meth:`check_acyclic`);
+    * **merge-point consistency** -- every replica committing a
+      reconfiguration reports the same merge point per request;
+    * **reconfiguration liveness** -- a requested subscribe/split/
+      replace must commit within a bound (surfaced through
+      :meth:`watch_sample` as a pending age, alerted by the watchdog --
+      a liveness miss is an alert, not a safety violation).
+
+    Timestamps are aligned into the reference clock domain using the
+    recorded ``meta.clock`` offsets, exactly like
+    :func:`repro.obs.merge.trace_offsets`; ``self.now`` is the aligned
+    high-watermark of trace time and is the clock every staleness
+    measure runs on (so post-hoc certification of a finished run sees
+    the same ages a live tail did).
+
+    State is bounded: :meth:`compact` (called automatically every
+    ``compact_every`` observed events) retires the oldest per-position
+    entries beyond ``compact_limit`` per stream/group.  Deliveries
+    below the compaction floor are still checked for per-replica
+    monotonicity, just no longer cross-checked value-by-value -- the
+    documented memory/coverage tradeoff for day-long runs.
+
+A kill -9'd worker restarts as a *new incarnation* with a fresh trace
+node id (``n3-r1``) and replays its deliveries from position 1; the
+certifier keys replica identity as ``(trace_node, replica)``, so the
+replay is a new observer agreeing with the canonical sequence, not a
+duplicate delivery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "AuditViolation",
+    "IncrementalTraceReader",
+    "SafetyCertifier",
+    "TraceDirectorySource",
+]
+
+
+# -- incremental input -------------------------------------------------
+
+class IncrementalTraceReader:
+    """Tail one JSONL trace file; each poll yields the new events.
+
+    Tolerates every artifact a live run produces: the file not existing
+    yet (the worker has not booted), a torn final line (buffered until
+    completed by a later append), interleaved malformed lines (counted,
+    skipped), and truncation (cursor reset, counted in ``resets``).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.offset = 0
+        self.events_read = 0
+        self.malformed = 0
+        self.resets = 0
+        self._partial = b""
+
+    def poll(self) -> list[dict]:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self.offset:
+            # Truncated or recreated underneath us: start over.
+            self.offset = 0
+            self._partial = b""
+            self.resets += 1
+        if size == self.offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            chunk = handle.read()
+        self.offset += len(chunk)
+        lines = (self._partial + chunk).split(b"\n")
+        # Bytes after the last newline are a line still being written.
+        self._partial = lines.pop()
+        events: list[dict] = []
+        for raw in lines:
+            if not raw.strip():
+                continue
+            try:
+                event = json.loads(raw)
+            except ValueError:
+                self.malformed += 1
+                continue
+            if isinstance(event, dict):
+                self.events_read += 1
+                events.append(event)
+            else:
+                self.malformed += 1
+        return events
+
+
+class TraceDirectorySource:
+    """Tail every per-node trace under a run directory.
+
+    New ``*.trace.jsonl`` files are discovered on every poll (restart
+    incarnations appear mid-run); ``merged.trace.jsonl`` is excluded
+    because it duplicates the per-node events.  ``paths`` pins an
+    explicit file list instead of scanning a directory.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        paths: Optional[Iterable[str]] = None,
+    ):
+        self.directory = directory
+        self.readers: dict[str, IncrementalTraceReader] = {}
+        for path in paths or ():
+            self.readers[path] = IncrementalTraceReader(path)
+
+    def _discover(self) -> None:
+        if self.directory is None:
+            return
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in sorted(names):
+            if not name.endswith(".trace.jsonl"):
+                continue
+            if name.startswith("merged"):
+                continue
+            path = os.path.join(self.directory, name)
+            if path not in self.readers:
+                self.readers[path] = IncrementalTraceReader(path)
+
+    def poll(self) -> list[dict]:
+        self._discover()
+        events: list[dict] = []
+        for path in sorted(self.readers):
+            events.extend(self.readers[path].poll())
+        return events
+
+    @property
+    def events_read(self) -> int:
+        return sum(r.events_read for r in self.readers.values())
+
+    @property
+    def malformed(self) -> int:
+        return sum(r.malformed for r in self.readers.values())
+
+
+# -- certifier ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One safety-property violation the certifier proved from events."""
+
+    property: str                  # e.g. "stream-agreement"
+    message: str
+    at: float = 0.0                # aligned trace time it was detected
+    stream: Optional[str] = None
+    position: Optional[int] = None
+    msg_id: Optional[Any] = None
+    replica: Optional[str] = None  # "trace_node/replica"
+
+    def to_json(self) -> dict:
+        payload = {"property": self.property, "message": self.message,
+                   "at": self.at}
+        for key in ("stream", "position", "msg_id", "replica"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return payload
+
+
+class _ReplicaState:
+    """One observer: a replica inside one worker incarnation."""
+
+    __slots__ = ("key", "group", "group_index", "positions", "last_at")
+
+    def __init__(self, key: str, group: str):
+        self.key = key
+        self.group = group
+        self.group_index = 0                 # next index into the canon
+        self.positions: dict[str, int] = {}  # stream -> last position
+        self.last_at = 0.0
+
+
+class _StreamState:
+    __slots__ = (
+        "values", "floor", "high", "delivered", "proposes",
+        "decided", "pending_proposes", "first_pending_at",
+        "last_decide_at", "last_propose_at",
+    )
+
+    def __init__(self) -> None:
+        self.values: dict[int, Any] = {}     # position -> msg_id
+        self.floor = 1                       # positions below: compacted
+        self.high = 0                        # max position delivered
+        self.delivered = 0
+        self.proposes = 0
+        self.decided = 0                     # decided positions (incl. skips)
+        self.pending_proposes = 0            # proposes since the last decide
+        self.first_pending_at: Optional[float] = None
+        self.last_decide_at: Optional[float] = None
+        self.last_propose_at: Optional[float] = None
+
+
+class _GroupState:
+    __slots__ = ("canon", "base", "unverified")
+
+    def __init__(self) -> None:
+        # canon[i - base] = (stream, position, msg_id): the group's
+        # canonical delivery sequence, as first observed.
+        self.canon: list[tuple] = []
+        self.base = 0
+        self.unverified = 0                  # deliveries below base
+
+
+@dataclass
+class _Reconfig:
+    kind: str                                # subscribe / unsubscribe
+    stream: str
+    requested_at: float
+    begins: set = field(default_factory=set)
+    commits: set = field(default_factory=set)
+    merge_points: dict = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return bool(self.commits) and self.commits >= self.begins
+
+
+class SafetyCertifier:
+    """Streaming checker of the paper's safety properties (module doc)."""
+
+    def __init__(
+        self,
+        compact_limit: int = 100_000,
+        compact_every: int = 50_000,
+    ):
+        self.compact_limit = compact_limit
+        self.compact_every = compact_every
+        self.offsets: dict[str, float] = {}        # node -> clock offset
+        self.clock_rtts: dict[str, float] = {}
+        self.replicas: dict[str, _ReplicaState] = {}
+        self.streams: dict[str, _StreamState] = {}
+        self.groups: dict[str, _GroupState] = {}
+        self.reconfigs: dict[Any, _Reconfig] = {}
+        self.violations: list[AuditViolation] = []
+        self.worker_violations: list[str] = []     # invariant.* from nodes
+        self.now = 0.0                             # aligned trace time
+        self.events = 0
+        self.submitted = 0
+        self.last_submit_at: Optional[float] = None
+        self.acyclic_checks = 0
+        self._since_compact = 0
+        self._retired: dict[str, set] = {}         # stream -> replica keys
+
+    # -- helpers ------------------------------------------------------
+
+    def _stream(self, name: str) -> _StreamState:
+        state = self.streams.get(name)
+        if state is None:
+            state = self.streams[name] = _StreamState()
+        return state
+
+    def _group(self, name: str) -> _GroupState:
+        state = self.groups.get(name)
+        if state is None:
+            state = self.groups[name] = _GroupState()
+        return state
+
+    def _replica(self, key: str, group: str) -> _ReplicaState:
+        state = self.replicas.get(key)
+        if state is None:
+            state = self.replicas[key] = _ReplicaState(key, group)
+        return state
+
+    def _violate(self, violation: AuditViolation,
+                 out: list[AuditViolation]) -> None:
+        self.violations.append(violation)
+        out.append(violation)
+
+    # -- ingest -------------------------------------------------------
+
+    def observe_all(self, events: Iterable[dict]) -> list[AuditViolation]:
+        fresh: list[AuditViolation] = []
+        for event in events:
+            fresh.extend(self.observe(event))
+        return fresh
+
+    def observe(self, event: dict) -> list[AuditViolation]:
+        """Feed one trace event; returns any *new* violations."""
+        self.events += 1
+        self._since_compact += 1
+        kind = event.get("kind")
+        node = str(event.get("node", ""))
+        fresh: list[AuditViolation] = []
+
+        if kind == "meta.clock":
+            target = str(event.get("node", node))
+            self.offsets[target] = float(event.get("offset", 0.0))
+            rtt = event.get("rtt")
+            if rtt is not None:
+                self.clock_rtts[target] = float(rtt)
+            return fresh
+
+        at = float(event.get("ts", 0.0)) - self.offsets.get(node, 0.0)
+        if at > self.now:
+            self.now = at
+
+        if kind == "replica.deliver":
+            self._observe_deliver(event, node, at, fresh)
+        elif kind == "coord.decide":
+            state = self._stream(str(event.get("stream", "")))
+            # ``positions`` is an int count live (batch.positions());
+            # tolerate a list for forward compatibility.
+            positions = event.get("positions")
+            state.decided += (
+                positions if isinstance(positions, int)
+                else len(positions or ())
+            )
+            state.pending_proposes = 0
+            state.first_pending_at = None
+            state.last_decide_at = at
+        elif kind == "coord.propose":
+            state = self._stream(str(event.get("stream", "")))
+            state.proposes += 1
+            state.pending_proposes += 1
+            if state.first_pending_at is None:
+                state.first_pending_at = at
+            state.last_propose_at = at
+        elif kind == "client.submit":
+            self.submitted += 1
+            self.last_submit_at = at
+        elif kind in ("control.subscribe", "control.prepare",
+                      "control.unsubscribe"):
+            request_id = event.get("request_id")
+            if request_id is not None and request_id not in self.reconfigs:
+                self.reconfigs[request_id] = _Reconfig(
+                    kind=kind.rsplit(".", 1)[1],
+                    stream=str(event.get("stream", "")),
+                    requested_at=at,
+                )
+        elif kind == "merge.subscribe.begin":
+            reconfig = self._reconfig_for(event, at)
+            reconfig.begins.add(self._observer_key(event, node))
+        elif kind == "merge.subscribe.commit":
+            self._observe_commit(event, node, at, fresh)
+        elif kind == "merge.unsubscribe":
+            reconfig = self._reconfig_for(event, at)
+            key = self._observer_key(event, node)
+            reconfig.begins.add(key)
+            reconfig.commits.add(key)
+            # The observer stops delivering this stream on purpose; do
+            # not count its frozen position against the low watermark.
+            self._retired.setdefault(
+                str(event.get("stream", "")), set()
+            ).add(key)
+        elif kind in ("invariant.violation", "meta.violation"):
+            self.worker_violations.append(
+                f"{node}: {event.get('message', kind)}"
+            )
+
+        if (self.compact_every and
+                self._since_compact >= self.compact_every):
+            self.compact()
+        return fresh
+
+    def _observer_key(self, event: dict, node: str) -> str:
+        return f"{node}/{event.get('replica', '')}"
+
+    def _reconfig_for(self, event: dict, at: float) -> _Reconfig:
+        request_id = event.get("request_id")
+        reconfig = self.reconfigs.get(request_id)
+        if reconfig is None:
+            kind = str(event.get("kind", ""))
+            reconfig = self.reconfigs[request_id] = _Reconfig(
+                kind="unsubscribe" if "unsubscribe" in kind else "subscribe",
+                stream=str(event.get("stream", "")),
+                requested_at=at,
+            )
+        return reconfig
+
+    def _observe_deliver(self, event: dict, node: str, at: float,
+                         fresh: list[AuditViolation]) -> None:
+        stream = str(event.get("stream", ""))
+        group = str(event.get("group", ""))
+        position = int(event.get("position", 0))
+        msg_id = event.get("msg_id")
+        key = self._observer_key(event, node)
+        replica = self._replica(key, group)
+        replica.last_at = at
+
+        # No duplicate / regressed delivery within one observer.
+        previous = replica.positions.get(stream)
+        if previous is not None and position <= previous:
+            self._violate(AuditViolation(
+                property="duplicate-delivery",
+                message=(
+                    f"{key} delivered {stream}@{position} after "
+                    f"already reaching position {previous}"
+                ),
+                at=at, stream=stream, position=position,
+                msg_id=msg_id, replica=key,
+            ), fresh)
+            return
+        replica.positions[stream] = position
+        retired = self._retired.get(stream)
+        if retired is not None:
+            retired.discard(key)     # delivering again: not retired
+
+        # Stream agreement: one msg_id per (stream, position), ever.
+        state = self._stream(stream)
+        state.delivered += 1
+        if position > state.high:
+            state.high = position
+        if position >= state.floor:
+            seen = state.values.get(position)
+            if seen is None:
+                state.values[position] = msg_id
+            elif seen != msg_id:
+                self._violate(AuditViolation(
+                    property="stream-agreement",
+                    message=(
+                        f"{stream}@{position}: {key} delivered "
+                        f"msg {msg_id}, another replica delivered "
+                        f"msg {seen}"
+                    ),
+                    at=at, stream=stream, position=position,
+                    msg_id=msg_id, replica=key,
+                ), fresh)
+
+        # Prefix agreement: the observer's next delivery must extend or
+        # match the group's canonical sequence.
+        group_state = self._group(group)
+        index = replica.group_index
+        replica.group_index += 1
+        entry = (stream, position, msg_id)
+        if index < group_state.base:
+            group_state.unverified += 1
+            return
+        slot = index - group_state.base
+        if slot < len(group_state.canon):
+            expected = group_state.canon[slot]
+            if expected != entry:
+                self._violate(AuditViolation(
+                    property="prefix-agreement",
+                    message=(
+                        f"group {group} index {index}: {key} delivered "
+                        f"{stream}@{position} msg {msg_id}, canonical "
+                        f"order has {expected[0]}@{expected[1]} "
+                        f"msg {expected[2]}"
+                    ),
+                    at=at, stream=stream, position=position,
+                    msg_id=msg_id, replica=key,
+                ), fresh)
+        else:
+            # First observer to reach this index extends the canon.
+            group_state.canon.append(entry)
+
+    def _observe_commit(self, event: dict, node: str, at: float,
+                        fresh: list[AuditViolation]) -> None:
+        reconfig = self._reconfig_for(event, at)
+        key = self._observer_key(event, node)
+        reconfig.begins.add(key)
+        reconfig.commits.add(key)
+        merge_point = event.get("merge_point")
+        request_id = event.get("request_id")
+        if merge_point is None:
+            return
+        for other_key, other_point in reconfig.merge_points.items():
+            if other_point != merge_point:
+                self._violate(AuditViolation(
+                    property="merge-point",
+                    message=(
+                        f"request {request_id}: {key} committed at merge "
+                        f"point {merge_point}, {other_key} at "
+                        f"{other_point}"
+                    ),
+                    at=at, stream=reconfig.stream, replica=key,
+                ), fresh)
+                break
+        reconfig.merge_points[key] = merge_point
+
+    # -- global checks ------------------------------------------------
+
+    def check_acyclic(self) -> list[AuditViolation]:
+        """Uniform acyclic order: the union of the groups' canonical
+        sequences, read as msg-follows-msg edges, must stay a DAG.
+        Runs over the retained (non-compacted) canon."""
+        self.acyclic_checks += 1
+        edges: dict[Any, set] = {}
+        for group_state in self.groups.values():
+            canon = group_state.canon
+            for i in range(1, len(canon)):
+                earlier, later = canon[i - 1][2], canon[i][2]
+                if earlier != later:
+                    edges.setdefault(earlier, set()).add(later)
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[Any, int] = {}
+        fresh: list[AuditViolation] = []
+        for root in edges:
+            if colour.get(root, WHITE) != WHITE:
+                continue
+            stack = [(root, iter(edges.get(root, ())))]
+            colour[root] = GREY
+            while stack:
+                vertex, children = stack[-1]
+                advanced = False
+                for child in children:
+                    state = colour.get(child, WHITE)
+                    if state == GREY:
+                        self._violate(AuditViolation(
+                            property="acyclic-order",
+                            message=(
+                                f"delivery order cycle: msg {child} both "
+                                f"precedes and follows msg {vertex} "
+                                f"across groups"
+                            ),
+                            at=self.now, msg_id=child,
+                        ), fresh)
+                        return fresh
+                    if state == WHITE:
+                        colour[child] = GREY
+                        stack.append((child, iter(edges.get(child, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[vertex] = BLACK
+                    stack.pop()
+        return fresh
+
+    # -- memory bound -------------------------------------------------
+
+    def compact(self) -> int:
+        """Retire the oldest per-position state beyond ``compact_limit``
+        entries per stream / group; returns entries dropped."""
+        self._since_compact = 0
+        dropped = 0
+        for state in self.streams.values():
+            excess = len(state.values) - self.compact_limit
+            if excess > 0:
+                for position in sorted(state.values)[:excess]:
+                    del state.values[position]
+                    dropped += 1
+                state.floor = min(state.values) if state.values else (
+                    state.high + 1
+                )
+        for group_state in self.groups.values():
+            excess = len(group_state.canon) - self.compact_limit
+            if excess > 0:
+                del group_state.canon[:excess]
+                group_state.base += excess
+                dropped += excess
+        return dropped
+
+    # -- snapshots ----------------------------------------------------
+
+    def watermarks(self) -> dict[str, dict]:
+        """Per-stream ``{"low", "high"}`` delivery watermarks.
+
+        ``high`` is the max position any observer delivered; ``low`` the
+        min across observers still expected to deliver the stream
+        (observers that explicitly unsubscribed are excluded -- their
+        frozen position is intentional, not a stall).
+        """
+        marks: dict[str, dict] = {}
+        lows: dict[str, int] = {}
+        for replica in self.replicas.values():
+            for stream, position in replica.positions.items():
+                if replica.key in self._retired.get(stream, ()):
+                    continue
+                if stream not in lows or position < lows[stream]:
+                    lows[stream] = position
+        for stream, state in self.streams.items():
+            marks[stream] = {
+                "low": lows.get(stream, state.high),
+                "high": state.high,
+            }
+        return marks
+
+    def watch_sample(self) -> dict:
+        """The watchdog's view of the certifier (see
+        :func:`repro.obs.watch.sample_from_certifier`)."""
+        streams: dict[str, dict] = {}
+        marks = self.watermarks()
+        for stream, state in self.streams.items():
+            entry = dict(marks.get(stream, {"low": 0, "high": state.high}))
+            entry["pending"] = state.pending_proposes
+            entry["pending_age"] = (
+                None if state.first_pending_at is None
+                else max(0.0, self.now - state.first_pending_at)
+            )
+            entry["decide_age"] = (
+                None if state.last_decide_at is None
+                else max(0.0, self.now - state.last_decide_at)
+            )
+            streams[stream] = entry
+        pending_reconfigs = {
+            str(request_id): max(0.0, self.now - reconfig.requested_at)
+            for request_id, reconfig in self.reconfigs.items()
+            if not reconfig.committed
+        }
+        return {
+            "at": self.now,
+            "streams": streams,
+            "delivered": sum(s.delivered for s in self.streams.values()),
+            "submitted": self.submitted,
+            "submit_age": (
+                None if self.last_submit_at is None
+                else max(0.0, self.now - self.last_submit_at)
+            ),
+            "pending_reconfigs": pending_reconfigs,
+            "clock_offsets": dict(self.offsets),
+            "clock_rtts": dict(self.clock_rtts),
+        }
+
+    def summary(self) -> dict:
+        """Aggregate audit verdict (embedded in deploy manifests)."""
+        return {
+            "events": self.events,
+            "now": self.now,
+            "replicas": len(self.replicas),
+            "groups": len(self.groups),
+            "streams": sorted(self.streams),
+            "delivered": sum(s.delivered for s in self.streams.values()),
+            "watermarks": self.watermarks(),
+            "violations": [v.to_json() for v in self.violations],
+            "worker_violations": list(self.worker_violations),
+            "acyclic_checks": self.acyclic_checks,
+            "ok": not self.violations,
+        }

@@ -96,6 +96,16 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "meta.node": ("node", "clock"),             # per-node trace header
     "meta.clock": ("node", "ref", "offset"),    # handshake offset estimate
     "meta.merge": ("nodes",),                   # merged-timeline header
+    # online audit & watchdog plane (docs/OBSERVABILITY.md, "Online
+    # audit").  audit.check summarises one certification pass;
+    # audit.violation is a proved safety-property breach; alert.raise /
+    # alert.clear are watchdog anomaly transitions (the detector name
+    # travels in the payload, not the kind, so the kind set stays
+    # closed and validate-trace keeps rejecting unknown kinds).
+    "audit.check": ("events", "violations"),
+    "audit.violation": ("property", "message"),
+    "alert.raise": ("detector", "severity", "message"),
+    "alert.clear": ("detector",),
 }
 
 _ENVELOPE = ("ts", "seq", "kind", "cat")

@@ -77,6 +77,8 @@ DEFAULT_CATEGORIES = frozenset(
         "elastic",
         "meta",
         "transport",
+        "audit",
+        "alert",
     }
 )
 _NOISY_CATEGORIES = frozenset({"net", "sim", "dispatch"})
@@ -108,6 +110,11 @@ class JsonlSink:
         self._file.write(json.dumps(event, separators=(",", ":")))
         self._file.write("\n")
         self.written += 1
+
+    def flush(self) -> None:
+        """Push buffered lines to disk so a live tail can see them."""
+        if not self._file.closed:
+            self._file.flush()
 
     def close(self) -> None:
         if not self._file.closed:

@@ -10,6 +10,11 @@ so it observes the run exactly the way an operator's Prometheus would.
 
 :func:`render` is pure (snapshots in, text out) so tests can assert on
 the dashboard without sockets; :func:`run_top` is the polling loop.
+
+Scrapes are concurrent with a short per-node timeout: one kill -9'd
+node must cost at most ``timeout`` per frame, never ``N x timeout``
+serial stalls -- the dead node renders as ``(unreachable)`` while the
+survivors keep updating.
 """
 
 from __future__ import annotations
@@ -18,9 +23,13 @@ import json
 import sys
 import time
 import urllib.request
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, TextIO
 
-__all__ = ["ANSI_CLEAR", "fetch_json", "load_endpoints", "render", "run_top"]
+__all__ = [
+    "ANSI_CLEAR", "fetch_all", "fetch_json", "load_endpoints", "render",
+    "run_top",
+]
 
 ANSI_CLEAR = "\x1b[2J\x1b[H"
 
@@ -48,6 +57,27 @@ def fetch_json(
             return json.loads(response.read().decode("utf-8"))
     except Exception:
         return None
+
+
+def fetch_all(
+    endpoints: dict[str, tuple[str, int]],
+    path: str,
+    timeout: float = 0.5,
+) -> dict[str, Optional[dict]]:
+    """Scrape one path from every node concurrently.
+
+    A dead endpoint contributes ``None`` after at most ``timeout``
+    seconds; it cannot stall the other nodes' scrapes (each node gets
+    its own worker thread).
+    """
+    if not endpoints:
+        return {}
+    with ThreadPoolExecutor(max_workers=len(endpoints)) as pool:
+        futures = {
+            node: pool.submit(fetch_json, host, port, path, timeout)
+            for node, (host, port) in endpoints.items()
+        }
+        return {node: future.result() for node, future in futures.items()}
 
 
 # Stage-level histograms of the latency-attribution plane
@@ -222,6 +252,39 @@ def render(
             f"{node:<6}{flushes:>9}{coalesced:>11}{per_flush:>10}{rate:>10}"
         )
 
+    # Watchdog panel (docs/OBSERVABILITY.md, "Online audit"): health
+    # score + active alerts from each node's self-observing watchdog;
+    # unreachable nodes are themselves rendered as a critical condition.
+    alert_rows: list[tuple[str, str, str]] = []
+    scores: list[str] = []
+    for node in sorted(health):
+        snapshot = health[node]
+        if snapshot is None:
+            alert_rows.append((node, "critical", "telemetry unreachable"))
+            scores.append(f"{node}=?")
+            continue
+        score = snapshot.get("health_score")
+        if score is not None:
+            scores.append(f"{node}={score}")
+        for alert in snapshot.get("alerts", ()):
+            alert_rows.append((
+                node,
+                alert.get("severity", "warning"),
+                f"{alert.get('detector', '?')}: "
+                f"{alert.get('message', '')}",
+            ))
+    if alert_rows or scores:
+        lines.append("")
+        lines.append(
+            f"health {' '.join(scores) if scores else '-'}"
+        )
+        if alert_rows:
+            lines.append(f"{'NODE':<6}{'SEV':<10}ALERT")
+            for node, severity, text in alert_rows:
+                lines.append(f"{node:<6}{severity:<10}{text}")
+        else:
+            lines.append("alerts: none")
+
     stage_rows = _stage_rows(metrics)
     if stage_rows:
         lines.append("")
@@ -261,11 +324,14 @@ def run_top(
     iterations: Optional[int] = None,
     clear: bool = True,
     stream: Optional[TextIO] = None,
+    timeout: float = 0.5,
 ) -> int:
     """Poll the cluster's endpoints and redraw until interrupted.
 
     ``iterations`` bounds the number of frames (None = forever); tests
     and one-shot inspection pass ``iterations=1, clear=False``.
+    ``timeout`` bounds each node's scrape: a kill -9'd worker marks its
+    panels ``(unreachable)`` instead of freezing the whole console.
     """
     out = stream if stream is not None else sys.stdout
     endpoints = load_endpoints(endpoints_path)
@@ -273,14 +339,8 @@ def run_top(
     frames = 0
     try:
         while True:
-            health = {
-                node: fetch_json(host, port, "/health")
-                for node, (host, port) in endpoints.items()
-            }
-            metrics = {
-                node: fetch_json(host, port, "/metrics.json")
-                for node, (host, port) in endpoints.items()
-            }
+            health = fetch_all(endpoints, "/health", timeout)
+            metrics = fetch_all(endpoints, "/metrics.json", timeout)
             frame = render(health, metrics, previous, interval)
             if clear:
                 out.write(ANSI_CLEAR)

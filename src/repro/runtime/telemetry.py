@@ -15,7 +15,10 @@ Every node of a live deployment (``python -m repro live --nodes N
   ``GET /metrics.json``     the ``repro-metrics/1`` registry dump
   ``GET /health``           heartbeat: last-delivered position per
                             stream, subscription state, transport
-                            queue depths and counters
+                            queue depths and counters, plus the
+                            watchdog's health score + active alerts
+  ``GET /alerts``           the watchdog alone: health score, active
+                            alerts, total raised
   ``GET /clock``            ``{"node": ..., "now": ...}`` -- the
                             handshake target for clock alignment
   ``GET /profile``          flamegraph-collapsed stacks sampled so far
@@ -44,6 +47,7 @@ from typing import Any, Awaitable, Callable, Optional
 
 from ..obs.recorder import FlightRecorder
 from ..obs.trace import DEFAULT_CATEGORIES, JsonlSink, Tracer
+from ..obs.watch import Watchdog, default_node_detectors, sample_from_health
 from .profiling import StackSampler
 
 __all__ = [
@@ -320,6 +324,14 @@ class NodeTelemetry:
         # supervisor sets profile_path; stop() writes the stacks there).
         self.profiler = StackSampler(interval=profile_interval)
         self.profile_path: Optional[str] = None
+        # Self-observing watchdog (docs/OBSERVABILITY.md, "Online
+        # audit"): evaluated only when /health or /alerts is scraped,
+        # so it costs the datapath nothing between scrapes.  Raise /
+        # clear transitions go through the tracer into the JSONL trace
+        # and the flight-recorder ring (causal context on any dump).
+        self.watchdog = Watchdog(
+            default_node_detectors(), tracer=self.tracer
+        )
 
     def bind(self, kernel: Any, health: Callable[[], dict]) -> None:
         """Adopt the node's kernel clock and the health snapshot hook,
@@ -330,6 +342,12 @@ class NodeTelemetry:
             "meta.node", kernel._now, cat="meta",
             clock=self.tracer.clock,
         )
+
+    def flush_trace(self) -> None:
+        """Flush the JSONL trace to disk (for live tails: the online
+        certifier drains the traces before this process exits)."""
+        if self._jsonl is not None:
+            self._jsonl.flush()
 
     # -- endpoint -----------------------------------------------------
 
@@ -342,8 +360,24 @@ class NodeTelemetry:
     def _route_metrics_json(self) -> tuple[str, str]:
         return ("application/json", json.dumps(self.registry.dump()))
 
+    def _observe_health(self, snapshot: dict) -> None:
+        self.watchdog.observe(sample_from_health(snapshot, node=self.node))
+
     def _route_health(self) -> tuple[str, str]:
-        return ("application/json", json.dumps(self._health()))
+        snapshot = self._health()
+        self._observe_health(snapshot)
+        snapshot["health_score"] = self.watchdog.health_score()
+        snapshot["alerts"] = self.watchdog.active_alerts()
+        return ("application/json", json.dumps(snapshot))
+
+    def _route_alerts(self) -> tuple[str, str]:
+        self._observe_health(self._health())
+        return ("application/json", json.dumps({
+            "node": self.node,
+            "health_score": self.watchdog.health_score(),
+            "active": self.watchdog.active_alerts(),
+            "raised_total": self.watchdog.raised_total,
+        }))
 
     def _route_clock(self) -> tuple[str, str]:
         now = self.kernel._now if self.kernel is not None else 0.0
@@ -377,6 +411,7 @@ class NodeTelemetry:
                 "/metrics": self._route_metrics,
                 "/metrics.json": self._route_metrics_json,
                 "/health": self._route_health,
+                "/alerts": self._route_alerts,
                 "/clock": self._route_clock,
                 "/profile": self._route_profile,
                 "/profile/start": self._route_profile_start,

@@ -48,6 +48,16 @@ def test_three_process_baseline_agrees(tmp_path):
     assert manifest["violations"] == {}
     # A clean run leaves no flight-recorder dumps.
     assert manifest["flight_dumps"] == []
+    # The online certifier ran alongside the cluster, certified the run
+    # safe, and -- the false-positive gate -- raised zero alerts on a
+    # healthy baseline.  Its alert log landed in the run directory.
+    audit = manifest["audit"]
+    assert audit["ok"] is True
+    assert audit["violations"] == []
+    assert audit["worker_violations"] == []
+    assert audit["alerts"] == []
+    assert audit["events"] > 0
+    assert os.path.exists(os.path.join(report.run_dir, "alerts.jsonl"))
     assert manifest["workload"]["submitted"] > 0
     # Every node wrote its trace; the spec landed next to them.
     for entry in manifest["nodes"].values():
@@ -80,6 +90,13 @@ def test_kill9_restart_reconverges(tmp_path):
     assert manifest["agreement"]["ok"] is True
     assert manifest["violations"] == {}
     assert manifest["flight_dumps"] == []
+    # Live certification survived the chaos: a kill -9 plus restart may
+    # raise alerts (staleness, unreachable telemetry) but must never
+    # trip a safety property.
+    audit = manifest["audit"]
+    assert audit["ok"] is True
+    assert audit["violations"] == []
+    assert audit["worker_violations"] == []
 
 
 def test_scenario_registry_is_complete():

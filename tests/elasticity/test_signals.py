@@ -1,0 +1,61 @@
+"""Unit tests for the signal plane (repro.elasticity.signals).
+
+The sim source is exercised end-to-end by the acceptance scenarios;
+here we pin the snapshot contract itself plus the live source's
+watchdog-alert ingestion (monkeypatched HTTP, no sockets).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.elasticity.signals import HttpSignalSource, SignalSnapshot
+
+
+def test_snapshot_alerts_default_to_empty():
+    snap = SignalSnapshot(
+        at=0.0, streams=("S1",), provisioned=("S1",),
+        pending_subscription=False,
+    )
+    assert snap.alerts == ()
+
+
+def test_http_source_collects_node_alerts(monkeypatch):
+    """The live source rolls each node's active watchdog alerts into
+    the snapshot as sorted ``node:detector`` strings, so a policy can
+    refuse to reconfigure an already-anomalous cluster."""
+    payloads = {
+        ("h1", 1, "/metrics.json"): {"counters": [], "histograms": []},
+        ("h1", 1, "/health"): {
+            "streams": {"S1": {}}, "replicas": {},
+            "alerts": [
+                {"detector": "backpressure", "severity": "warning"},
+                {"detector": "watermark_stall", "severity": "critical"},
+            ],
+        },
+        ("h2", 2, "/metrics.json"): {"counters": [], "histograms": []},
+        ("h2", 2, "/health"): {
+            "streams": {"S1": {}}, "replicas": {},
+            "alerts": [{"detector": "clock_drift"}],
+        },
+    }
+
+    async def fake_get(host, port, path):
+        return payloads[(host, port, path)]
+
+    import repro.runtime.telemetry as telemetry
+    monkeypatch.setattr(telemetry, "http_get_json", fake_get)
+
+    source = HttpSignalSource(
+        {"n1": ("h1", 1), "n2": ("h2", 2)}, clock=lambda: 3.0
+    )
+    snap = asyncio.run(source.sample())
+    assert snap.at == 3.0
+    assert snap.alerts == (
+        "n1:backpressure", "n1:watermark_stall", "n2:clock_drift"
+    )
+
+    # A node whose health omits the field contributes nothing.
+    payloads[("h2", 2, "/health")] = {"streams": {}, "replicas": {}}
+    snap = asyncio.run(source.sample())
+    assert snap.alerts == ("n1:backpressure", "n1:watermark_stall")

@@ -52,9 +52,13 @@ def test_trace_command_parses():
     assert args.seed == 4
 
 
-def test_trace_requires_known_experiment():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["trace", "faults", "--out", "t.jsonl"])
+def test_trace_requires_known_experiment(capsys):
+    # The positional also accepts file paths (for --follow), so the
+    # experiment check lives in the handler, not the parser.
+    from repro.cli import main
+
+    assert main(["trace", "faults", "--out", "t.jsonl"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
 
 
 def test_trace_rejects_unknown_categories(tmp_path, capsys):
@@ -207,9 +211,63 @@ def test_top_accepts_directory_or_file(tmp_path):
     args = build_parser().parse_args(["top", str(tmp_path)])
     assert args.command == "top"
     assert args.interval == 1.0 and args.iterations is None
+    assert args.timeout == 0.5       # per-node scrape bound: no hangs
     args = build_parser().parse_args([
         "top", "e.json", "--interval", "0.5", "--iterations", "3",
-        "--no-clear",
+        "--no-clear", "--timeout", "0.2",
     ])
     assert args.interval == 0.5 and args.iterations == 3
     assert args.no_clear is True
+    assert args.timeout == 0.2
+
+
+# -- trace --follow / watch ---------------------------------------------------
+
+
+def test_trace_follow_and_watch_flags_parse():
+    args = build_parser().parse_args([
+        "trace", "n1.trace.jsonl", "--follow", "--max-events", "5",
+        "--idle-timeout", "2",
+    ])
+    assert args.follow is True
+    assert args.max_events == 5 and args.idle_timeout == 2.0
+    args = build_parser().parse_args([
+        "watch", "run-dir", "--follow", "--out", "alerts.jsonl",
+        "--fail-on-alert", "--stall-after", "1.5",
+    ])
+    assert args.command == "watch"
+    assert args.follow is True and args.fail_on_alert is True
+    assert args.out == "alerts.jsonl" and args.stall_after == 1.5
+
+
+def test_trace_follow_tails_a_static_file(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    trace = tmp_path / "n1.trace.jsonl"
+    lines = [
+        '{"ts":0.0,"seq":0,"kind":"net.heal","cat":"net"}',
+        '{"ts":1.0,"seq":1,"kind":"net.heal","cat":"net"}',
+        '{"ts":2.0,"seq":2,"kind":"net.heal","cat":"net"}',
+    ]
+    trace.write_text("\n".join(lines) + "\n")
+    # --max-events bounds the tail so a static file terminates.
+    assert main(["trace", str(trace), "--follow", "--max-events", "2",
+                 "--interval", "0.01"]) == 0
+    captured = capsys.readouterr()
+    emitted = [json.loads(line) for line in captured.out.splitlines()]
+    assert [e["seq"] for e in emitted] == [0, 1]
+    assert "2 events" in captured.err
+    # --idle-timeout ends the tail once the file goes quiet.
+    assert main(["trace", str(trace), "--follow", "--interval", "0.01",
+                 "--idle-timeout", "0.05"]) == 0
+    captured = capsys.readouterr()
+    assert len(captured.out.splitlines()) == 3
+
+
+def test_trace_follow_missing_file_needs_idle_timeout(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["trace", str(tmp_path / "nope.jsonl"), "--follow"]) == 2
+    assert "no such trace file" in capsys.readouterr().err

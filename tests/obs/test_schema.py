@@ -36,6 +36,29 @@ def test_unknown_kind_rejected():
         validate_event(_event(kind="coord.frobnicate"))
 
 
+def test_audit_and_alert_kinds_are_registered():
+    # The online certifier / watchdog plane writes its alert log as
+    # ordinary trace events; validate-trace must accept them...
+    prefixes = {kind.partition(".")[0] for kind in EVENT_SCHEMA}
+    assert {"audit", "alert"} <= prefixes
+    validate_event(_event(kind="audit.check", events=10, violations=0))
+    validate_event(_event(kind="audit.violation",
+                          property="stream-agreement", message="boom"))
+    validate_event(_event(kind="alert.raise", detector="quorum_stall",
+                          severity="critical", message="stuck"))
+    validate_event(_event(kind="alert.clear", detector="quorum_stall"))
+
+
+def test_audit_kinds_enforce_required_fields():
+    # ...while still failing on records missing their required fields
+    # (the pin for the watch plane's output discipline).
+    with pytest.raises(SchemaError, match="property"):
+        validate_event(_event(kind="audit.violation", message="boom"))
+    with pytest.raises(SchemaError, match="severity"):
+        validate_event(_event(kind="alert.raise", detector="d",
+                              message="m"))
+
+
 def test_missing_required_field_rejected():
     with pytest.raises(SchemaError, match="msg_id"):
         validate_event(_event(client="c", latency=0.2))

@@ -186,6 +186,60 @@ def test_console_render_is_pure():
     assert "-" in first
 
 
+def test_console_alerts_panel_and_health_scores():
+    from repro.runtime.console import render
+
+    base = {"node": "n1", "streams": {}, "replicas": {}, "transport": {},
+            "client": {"submitted": 1}}
+    healthy = {"n1": {**base, "health_score": 100, "alerts": []}}
+    frame = render(healthy, {"n1": None}, None, interval=1.0)
+    assert "health n1=100" in frame
+    assert "alerts: none" in frame
+
+    alerting = {
+        "n1": {**base, "health_score": 60, "alerts": [
+            {"detector": "backpressure", "severity": "warning",
+             "message": "send queue to acc at 900/1024", "key": "acc"},
+        ]},
+        "n2": None,      # dead node: rendered as a critical condition
+    }
+    frame = render(alerting, {"n1": None, "n2": None}, None, interval=1.0)
+    assert "health n1=60 n2=?" in frame
+    assert "backpressure: send queue to acc" in frame
+    assert "critical" in frame and "telemetry unreachable" in frame
+
+
+def test_fetch_all_dead_endpoint_costs_one_timeout_not_n(tmp_path):
+    """Satellite: `repro top` must not hang when a node dies.  Scrapes
+    run concurrently with a per-node timeout, so N dead endpoints cost
+    max(timeout), not N x timeout, and survivors still render."""
+    import socket
+    import time as time_mod
+
+    from repro.runtime.console import fetch_all
+
+    # Reserved-but-unserved ports: connections hang until timeout
+    # (connect to a listening socket that never accepts/answers).
+    listeners = []
+    endpoints = {}
+    for name in ("n1", "n2", "n3"):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(0)
+        listeners.append(sock)
+        endpoints[name] = ("127.0.0.1", sock.getsockname()[1])
+    try:
+        started = time_mod.monotonic()
+        results = fetch_all(endpoints, "/health", timeout=0.4)
+        elapsed = time_mod.monotonic() - started
+    finally:
+        for sock in listeners:
+            sock.close()
+    assert results == {"n1": None, "n2": None, "n3": None}
+    # Serial scrapes would need >= 3 * 0.4s; concurrent ones ~0.4s.
+    assert elapsed < 1.0
+
+
 def test_console_stage_breakdown_panel():
     from repro.runtime.console import render
 

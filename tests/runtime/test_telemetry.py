@@ -132,6 +132,57 @@ def test_server_routes_and_errors():
     run(main())
 
 
+def test_node_telemetry_serves_alerts_and_health_score(tmp_path):
+    """The self-observing watchdog: /health rolls in health_score and
+    active alerts, /alerts serves the watchdog alone, and an anomalous
+    snapshot (send queue near capacity) raises a real alert."""
+    async def main():
+        from repro.runtime.asyncio_kernel import AsyncioKernel
+
+        telemetry = NodeTelemetry(
+            "n1", trace_path=str(tmp_path / "n1.trace.jsonl")
+        )
+        kernel = AsyncioKernel(
+            tracer=telemetry.tracer, metrics=telemetry.registry
+        )
+        snapshot = {
+            "node": "n1", "now": 1.0, "streams": {}, "replicas": {},
+            "transport": {"queue_depths": {}, "queue_capacity": 1024},
+        }
+        telemetry.bind(kernel, lambda: dict(snapshot))
+        host, port = await telemetry.start_server()
+
+        health = await http_get_json(host, port, "/health")
+        assert health["health_score"] == 100 and health["alerts"] == []
+        alerts = await http_get_json(host, port, "/alerts")
+        assert alerts == {"node": "n1", "health_score": 100,
+                          "active": [], "raised_total": 0}
+
+        # A send queue near capacity is an anomaly the node sees in
+        # its own snapshot on the next scrape.
+        snapshot["transport"]["queue_depths"] = {"peer": 1000}
+        health = await http_get_json(host, port, "/health")
+        assert health["health_score"] < 100
+        assert [a["detector"] for a in health["alerts"]] == [
+            "backpressure"
+        ]
+        alerts = await http_get_json(host, port, "/alerts")
+        assert alerts["raised_total"] == 1
+
+        # Recovery clears it: scores return to clean.
+        snapshot["transport"]["queue_depths"] = {"peer": 0}
+        health = await http_get_json(host, port, "/health")
+        assert health["health_score"] == 100 and health["alerts"] == []
+
+        await telemetry.stop()
+        # The raise/clear transitions landed in the node's own trace.
+        kinds = [json.loads(line)["kind"]
+                 for line in open(tmp_path / "n1.trace.jsonl")]
+        assert "alert.raise" in kinds and "alert.clear" in kinds
+
+    run(main())
+
+
 def test_node_telemetry_serves_metrics_health_clock(tmp_path):
     async def main():
         from repro.runtime.asyncio_kernel import AsyncioKernel
